@@ -1,0 +1,26 @@
+//! Criterion bench for the CDS construction (E8 kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mds_cds::build::{connect_dominating_set, CdsConfig};
+use mds_core::greedy::greedy_mds;
+use mds_graphs::generators;
+use std::time::Duration;
+
+fn bench_cds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connected_dominating_set");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let g = generators::grid(12, 12);
+    let ds = greedy_mds(&g).set;
+    group.bench_function("connect_grid_12x12", |b| {
+        b.iter(|| connect_dominating_set(&g, &ds, &CdsConfig::default()))
+    });
+    let udg = generators::unit_disk(150, 0.2, 3);
+    let ds2 = greedy_mds(&udg).set;
+    group.bench_function("connect_udg_150", |b| {
+        b.iter(|| connect_dominating_set(&udg, &ds2, &CdsConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cds);
+criterion_main!(benches);

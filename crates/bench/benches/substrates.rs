@@ -1,0 +1,73 @@
+//! Criterion benches for the substrates: decomposition (E10), coloring,
+//! spanner (E8 kernel), k-wise coins (E7) and the rounding/derandomization
+//! kernels (E5/E6/E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mds_decomposition::coloring::graph_distance_two_coloring;
+use mds_decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
+use mds_decomposition::spanner::derandomized_spanner;
+use mds_fractional::lp;
+use mds_graphs::generators;
+use mds_rounding::derandomize::{derandomize, DerandomizeConfig};
+use mds_rounding::kwise::KWiseGenerator;
+use mds_rounding::one_shot::OneShotRounding;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_decomposition");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for &n in &[100usize, 250] {
+        let g = generators::gnp(n, 6.0 / n as f64, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| strong_diameter_decomposition(g, 2, &DecompositionConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring_and_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring_and_spanner");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let g = generators::gnp(200, 0.05, 4);
+    group.bench_function("distance2_coloring_n200", |b| b.iter(|| graph_distance_two_coloring(&g)));
+    group.bench_function("derandomized_spanner_n200", |b| b.iter(|| derandomized_spanner(&g)));
+    group.finish();
+}
+
+fn bench_kwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kwise_coins");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+    for &k in &[8usize, 64, 256] {
+        let gen = KWiseGenerator::from_rng(k, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &gen, |b, gen| {
+            b.iter(|| (0..1000u64).map(|i| gen.coin(i, 0.3)).filter(|&x| x).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_derandomization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_shot_derandomization");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for &n in &[100usize, 200] {
+        let g = generators::gnp(n, 8.0 / n as f64, 5);
+        let x = lp::degree_heuristic(&g);
+        let problem = OneShotRounding::on_graph(&g, &x).into_problem();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| derandomize(p, &DerandomizeConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decomposition,
+    bench_coloring_and_spanner,
+    bench_kwise,
+    bench_derandomization
+);
+criterion_main!(benches);

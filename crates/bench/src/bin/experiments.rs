@@ -1,0 +1,14 @@
+//! Experiment driver: regenerates the tables of `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run --release -p mds-bench --bin experiments -- [--exp e1|...|e10|all]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let exp = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+    print!("{}", mds_bench::run_experiment(&exp));
+}

@@ -1,0 +1,37 @@
+//! # mds-cds
+//!
+//! The connected dominating set algorithm of Theorem 1.4: a deterministic
+//! CONGEST `O(ln Δ)`-approximation obtained by extending a dominating set to a
+//! connected one while only increasing its size by a constant factor.
+//!
+//! * [`gs`] — the auxiliary graph `G_S` on the dominating set (an edge
+//!   whenever two set nodes are at distance ≤ 3 in `G`), together with the
+//!   connecting paths, and the connectivity equivalence of Claim 4.1.
+//! * [`build`] — the Theorem 1.4 construction: ruling-set cluster centers,
+//!   BFS cluster trees (Lemma 4.2), the reduced cluster graph `G'_S`, a
+//!   derandomized Baswana–Sen spanner on it, and the assembly of the final
+//!   connected dominating set.
+//! * [`verify`] — connected-dominating-set verification.
+//!
+//! ```
+//! use mds_graphs::generators;
+//! use mds_core::greedy;
+//! use mds_cds::build::{connect_dominating_set, CdsConfig};
+//! use mds_cds::verify::is_connected_dominating_set;
+//!
+//! let g = generators::gnp(60, 0.1, 3);
+//! let ds = greedy::greedy_mds(&g).set;
+//! let cds = connect_dominating_set(&g, &ds, &CdsConfig::default());
+//! if mds_graphs::analysis::is_connected(&g) {
+//!     assert!(is_connected_dominating_set(&g, &cds.cds));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod gs;
+pub mod verify;
+
+pub use build::{connect_dominating_set, CdsConfig, CdsResult};

@@ -1,0 +1,54 @@
+//! Connected-dominating-set verification.
+
+use congest_sim::{Graph, NodeId};
+use mds_graphs::analysis;
+
+/// Whether `set` is a *connected* dominating set of `graph`: it dominates
+/// every node and the subgraph induced by `set` is connected.
+pub fn is_connected_dominating_set(graph: &Graph, set: &[NodeId]) -> bool {
+    if !mds_core::verify::is_dominating_set(graph, set) {
+        return false;
+    }
+    if set.len() <= 1 {
+        return true;
+    }
+    let mut sorted: Vec<NodeId> = set.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let (induced, _) = analysis::induced_subgraph(graph, &sorted);
+    analysis::is_connected(&induced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_graphs::generators;
+
+    #[test]
+    fn star_center_is_a_cds() {
+        let g = generators::star(8);
+        assert!(is_connected_dominating_set(&g, &[NodeId(0)]));
+    }
+
+    #[test]
+    fn disconnected_dominating_set_is_rejected() {
+        let g = generators::path(9);
+        // {1, 4, 7} dominates P9 but induces no edges.
+        assert!(!is_connected_dominating_set(&g, &[NodeId(1), NodeId(4), NodeId(7)]));
+        // Adding the connectors makes it connected.
+        let cds: Vec<NodeId> = (1..8).map(NodeId).collect();
+        assert!(is_connected_dominating_set(&g, &cds));
+    }
+
+    #[test]
+    fn non_dominating_sets_are_rejected() {
+        let g = generators::path(5);
+        assert!(!is_connected_dominating_set(&g, &[NodeId(0), NodeId(1)]));
+    }
+
+    #[test]
+    fn empty_set_only_for_empty_graph() {
+        assert!(is_connected_dominating_set(&congest_sim::Graph::empty(0), &[]));
+        assert!(!is_connected_dominating_set(&generators::path(3), &[]));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for topology construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a [`crate::Graph`] from invalid input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the CONGEST model graphs in this
+    /// workspace are simple.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('5'));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

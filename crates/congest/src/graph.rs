@@ -1,0 +1,328 @@
+//! Immutable undirected network topology in compressed sparse row form.
+
+use crate::error::GraphError;
+use std::fmt;
+
+/// Identifier of a node of the network graph.
+///
+/// Node identifiers are dense indices `0..n`. The CONGEST model assumes
+/// globally unique identifiers of `O(log n)` bits; a dense index satisfies
+/// that and keeps adjacency structures compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+/// An immutable, simple, undirected graph stored in CSR (compressed sparse
+/// row) form.
+///
+/// This is the network topology over which all distributed algorithms in the
+/// workspace run. Construction deduplicates parallel edges and rejects
+/// self-loops and out-of-range endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    m: usize,
+    max_degree: usize,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// Parallel edges are collapsed; edge direction is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] if an edge of the form `(v, v)` is supplied.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use congest_sim::Graph;
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (1, 2)]).unwrap();
+    /// assert_eq!(g.m(), 2);
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let mut builder = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            builder.add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Builds a graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of node `v` (number of distinct neighbors, excluding `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of the graph.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.0 + 1] - self.offsets[v.0]
+    }
+
+    /// The neighbors of `v`, sorted by identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of the graph.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v.0]..self.offsets[v.0 + 1]]
+    }
+
+    /// Iterator over the *inclusive* neighborhood `N(v) = {v} ∪ Γ(v)` used
+    /// throughout the paper (Section 2).
+    pub fn inclusive_neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(v).chain(self.neighbors(v).iter().copied())
+    }
+
+    /// Size of the inclusive neighborhood of `v`, i.e. `deg(v) + 1`.
+    pub fn inclusive_degree(&self, v: NodeId) -> usize {
+        self.degree(v) + 1
+    }
+
+    /// Maximum degree `Δ` of the graph.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// The quantity `Δ̃ = Δ + 1`, the maximum size of an inclusive
+    /// neighborhood (Section 2).
+    pub fn delta_tilde(&self) -> usize {
+        self.max_degree + 1
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n()).map(NodeId)
+    }
+
+    /// Iterator over all edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Average degree `2m / n`; `0.0` for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            2.0 * self.m as f64 / self.n() as f64
+        }
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// ```
+/// use congest_sim::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(2, 3).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Graph::from_edges`].
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.adjacency[u].push(NodeId(v));
+        self.adjacency[v].push(NodeId(u));
+        Ok(self)
+    }
+
+    /// Finalizes the graph: sorts adjacency lists, removes duplicates and
+    /// computes degree statistics.
+    pub fn build(mut self) -> Graph {
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0usize);
+        let mut max_degree = 0usize;
+        let mut m2 = 0usize;
+        for list in self.adjacency.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            max_degree = max_degree.max(list.len());
+            m2 += list.len();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Graph {
+            offsets,
+            neighbors,
+            m: m2 / 2,
+            max_degree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn csr_construction_is_correct() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3)]).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(g.neighbors(NodeId(3)), &[NodeId(2)]);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.delta_tilde(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert_eq!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
+        );
+    }
+
+    #[test]
+    fn inclusive_neighborhood_contains_self() {
+        let g = path(3);
+        let inc: Vec<_> = g.inclusive_neighbors(NodeId(1)).collect();
+        assert!(inc.contains(&NodeId(1)));
+        assert_eq!(inc.len(), g.inclusive_degree(NodeId(1)));
+        assert_eq!(inc.len(), 3);
+    }
+
+    #[test]
+    fn has_edge_and_edges_iterator_agree() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]).unwrap();
+        let listed: Vec<_> = g.edges().collect();
+        assert_eq!(listed.len(), g.m());
+        for (u, v) in listed {
+            assert!(u < v);
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+        assert!(!g.has_edge(NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(4);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        let g0 = Graph::empty(0);
+        assert_eq!(g0.n(), 0);
+        assert_eq!(g0.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn average_degree_of_cycle_is_two() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_id_display_and_conversions() {
+        let v = NodeId::from(7usize);
+        assert_eq!(usize::from(v), 7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.to_string(), "v7");
+    }
+}

@@ -1,0 +1,298 @@
+//! Round and message accounting for composite algorithms.
+//!
+//! The paper's main algorithms are compositions of communication primitives
+//! whose CONGEST round cost is stated in closed form (e.g. "aggregating a sum
+//! along the spanning tree of a cluster with diameter `d` takes `O(d)`
+//! rounds", Lemma 3.4). The [`RoundLedger`] records, per named phase, both
+//! the *simulated* cost (what our implementation of the primitive actually
+//! spends) and the *paper formula* cost (the closed-form bound from the
+//! paper), so experiments can report either view and compare the two.
+
+use std::fmt;
+
+/// The cost of one named phase of an algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCost {
+    /// Human-readable phase name, e.g. `"part II: factor-two rounding"`.
+    pub name: String,
+    /// Rounds spent by the simulated implementation of the phase.
+    pub simulated_rounds: u64,
+    /// Rounds charged by the paper's closed-form bound for the phase, when one
+    /// is stated.
+    pub formula_rounds: Option<u64>,
+    /// Number of point-to-point messages sent during the phase (simulated).
+    pub messages: u64,
+}
+
+/// Accumulates [`PhaseCost`]s over the course of an algorithm run.
+///
+/// ```
+/// use congest_sim::RoundLedger;
+/// let mut ledger = RoundLedger::new();
+/// ledger.charge("neighbor exchange", 1, 24);
+/// ledger.charge_with_formula("cluster aggregation", 12, 40, 64);
+/// assert_eq!(ledger.total_simulated_rounds(), 13);
+/// assert_eq!(ledger.total_formula_rounds(), 1 + 40);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundLedger {
+    phases: Vec<PhaseCost>,
+}
+
+impl RoundLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RoundLedger::default()
+    }
+
+    /// Charges a phase for which no separate paper formula is recorded; the
+    /// simulated cost is used for both views.
+    pub fn charge(&mut self, name: &str, simulated_rounds: u64, messages: u64) {
+        self.phases.push(PhaseCost {
+            name: name.to_owned(),
+            simulated_rounds,
+            formula_rounds: None,
+            messages,
+        });
+    }
+
+    /// Charges a phase with both a simulated cost and the paper's closed-form
+    /// round bound.
+    pub fn charge_with_formula(
+        &mut self,
+        name: &str,
+        simulated_rounds: u64,
+        formula_rounds: u64,
+        messages: u64,
+    ) {
+        self.phases.push(PhaseCost {
+            name: name.to_owned(),
+            simulated_rounds,
+            formula_rounds: Some(formula_rounds),
+            messages,
+        });
+    }
+
+    /// Appends all phases of `other` to this ledger.
+    pub fn absorb(&mut self, other: RoundLedger) {
+        self.phases.extend(other.phases);
+    }
+
+    /// The recorded phases, in charge order.
+    pub fn phases(&self) -> &[PhaseCost] {
+        &self.phases
+    }
+
+    /// Total simulated rounds across all phases.
+    pub fn total_simulated_rounds(&self) -> u64 {
+        self.phases.iter().map(|p| p.simulated_rounds).sum()
+    }
+
+    /// Total rounds using the paper formula wherever one was recorded and the
+    /// simulated cost otherwise.
+    pub fn total_formula_rounds(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.formula_rounds.unwrap_or(p.simulated_rounds))
+            .sum()
+    }
+
+    /// Total messages sent across all phases.
+    pub fn total_messages(&self) -> u64 {
+        self.phases.iter().map(|p| p.messages).sum()
+    }
+
+    /// Produces an owned summary suitable for experiment output.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            simulated_rounds: self.total_simulated_rounds(),
+            formula_rounds: self.total_formula_rounds(),
+            messages: self.total_messages(),
+            phases: self.phases.clone(),
+        }
+    }
+}
+
+impl fmt::Display for RoundLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "rounds(sim)={} rounds(paper)={} messages={}",
+            self.total_simulated_rounds(),
+            self.total_formula_rounds(),
+            self.total_messages()
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "  {:<40} sim={:<10} paper={:<10} msgs={}",
+                p.name,
+                p.simulated_rounds,
+                p.formula_rounds
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "-".to_owned()),
+                p.messages
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A frozen summary of a [`RoundLedger`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Total simulated rounds.
+    pub simulated_rounds: u64,
+    /// Total rounds under the paper's closed-form bounds.
+    pub formula_rounds: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseCost>,
+}
+
+/// Closed-form round bounds stated in the paper, used to populate the
+/// "paper formula" column of the ledger.
+pub mod formulas {
+    /// `2^{O(sqrt(log n * log log n))}` — the deterministic network
+    /// decomposition bound of Theorem 3.2 ([GK18]) and hence the runtime of
+    /// Theorems 1.1 and 1.4. The hidden constant is taken to be 1.
+    pub fn gk18_decomposition_rounds(n: usize) -> u64 {
+        if n < 2 {
+            return 1;
+        }
+        let log_n = (n as f64).log2();
+        let log_log_n = log_n.max(2.0).log2();
+        (2f64.powf((log_n * log_log_n).sqrt())).ceil() as u64
+    }
+
+    /// `O(ε^{-4} log^2 Δ)` — Lemma 2.1 ([KMW06]) initial fractional solution.
+    pub fn kmw_fractional_rounds(max_degree: usize, epsilon: f64) -> u64 {
+        let delta = (max_degree.max(2)) as f64;
+        let log_d = delta.log2().max(1.0);
+        ((log_d * log_d) / epsilon.powi(4)).ceil() as u64
+    }
+
+    /// `O(Δ_L · Δ_R + Δ_L · log* n)` — Lemma 3.12 bipartite distance-two
+    /// coloring.
+    pub fn bipartite_coloring_rounds(delta_l: usize, delta_r: usize, n: usize) -> u64 {
+        (delta_l * delta_r + delta_l * log_star(n)) as u64
+    }
+
+    /// `O(C)` — Lemma 3.10: one round per color class of the distance-two
+    /// coloring, with a constant number of rounds of bookkeeping per class.
+    pub fn coloring_derandomization_rounds(num_colors: usize) -> u64 {
+        (2 * num_colors.max(1)) as u64
+    }
+
+    /// `O(K · c · d)` — Lemma 3.4: fixing `K = poly log n` seed bits per
+    /// cluster, per color class, with `O(d)` rounds per bit.
+    pub fn netdecomp_derandomization_rounds(n: usize, colors: usize, diameter: usize) -> u64 {
+        let k = seed_length_bits(n) as u64;
+        k * colors.max(1) as u64 * diameter.max(1) as u64
+    }
+
+    /// `K = O(k log^2 N)` — Lemma 3.3 seed length for `k`-wise independence
+    /// with `k = poly log n`; we use `k = ceil(log^2 n)` and a unit constant.
+    pub fn seed_length_bits(n: usize) -> usize {
+        let log_n = (n.max(2) as f64).log2();
+        ((log_n * log_n) * log_n * log_n).ceil() as usize
+    }
+
+    /// The iterated logarithm `log* n` (number of times `log2` must be applied
+    /// before the value drops to at most 1).
+    pub fn log_star(n: usize) -> usize {
+        let mut x = n as f64;
+        let mut count = 0;
+        while x > 1.0 {
+            x = x.log2();
+            count += 1;
+            if count > 10 {
+                break;
+            }
+        }
+        count
+    }
+
+    /// `O(log^3 n)` — the CDS clustering construction of Lemma 4.2.
+    pub fn cds_clustering_rounds(n: usize) -> u64 {
+        let log_n = (n.max(2) as f64).log2();
+        (log_n * log_n * log_n).ceil() as u64
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn log_star_values() {
+            assert_eq!(log_star(1), 0);
+            assert_eq!(log_star(2), 1);
+            assert_eq!(log_star(4), 2);
+            assert_eq!(log_star(16), 3);
+            assert_eq!(log_star(65536), 4);
+        }
+
+        #[test]
+        fn gk18_is_subpolynomial_but_superpolylog() {
+            let r1 = gk18_decomposition_rounds(1 << 10);
+            let r2 = gk18_decomposition_rounds(1 << 20);
+            assert!(r2 > r1);
+            // Far below linear growth.
+            assert!((r2 as f64) < (1u64 << 20) as f64);
+        }
+
+        #[test]
+        fn kmw_rounds_scale_with_epsilon() {
+            assert!(kmw_fractional_rounds(64, 0.1) > kmw_fractional_rounds(64, 0.5));
+            assert!(kmw_fractional_rounds(1024, 0.5) > kmw_fractional_rounds(4, 0.5));
+        }
+
+        #[test]
+        fn formulas_are_nonzero_for_tiny_inputs() {
+            assert!(gk18_decomposition_rounds(1) >= 1);
+            assert!(bipartite_coloring_rounds(1, 1, 2) >= 1);
+            assert!(coloring_derandomization_rounds(0) >= 1);
+            assert!(netdecomp_derandomization_rounds(2, 1, 1) >= 1);
+            assert!(cds_clustering_rounds(2) >= 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_totals_and_merge() {
+        let mut a = RoundLedger::new();
+        a.charge("x", 3, 10);
+        let mut b = RoundLedger::new();
+        b.charge_with_formula("y", 5, 100, 20);
+        a.absorb(b);
+        assert_eq!(a.phases().len(), 2);
+        assert_eq!(a.total_simulated_rounds(), 8);
+        assert_eq!(a.total_formula_rounds(), 103);
+        assert_eq!(a.total_messages(), 30);
+        let report = a.report();
+        assert_eq!(report.simulated_rounds, 8);
+        assert_eq!(report.phases.len(), 2);
+    }
+
+    #[test]
+    fn display_contains_phase_names() {
+        let mut a = RoundLedger::new();
+        a.charge("alpha phase", 1, 2);
+        let s = a.to_string();
+        assert!(s.contains("alpha phase"));
+        assert!(s.contains("rounds(sim)=1"));
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = RoundLedger::new();
+        assert_eq!(l.total_simulated_rounds(), 0);
+        assert_eq!(l.total_formula_rounds(), 0);
+        assert_eq!(l.total_messages(), 0);
+    }
+}

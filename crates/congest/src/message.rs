@@ -1,0 +1,123 @@
+//! Message size accounting for the CONGEST bandwidth restriction.
+
+/// Types that can report their size in bits when sent as a CONGEST message.
+///
+/// The executor uses this to check every message against the `O(log n)` budget
+/// (see [`crate::congest_bandwidth_bits`]). Implementations should report the
+/// size of the *encoded* message a real system would transmit, not the size of
+/// the in-memory representation.
+pub trait MessageSize {
+    /// Size of the encoded message in bits.
+    fn size_bits(&self) -> usize;
+}
+
+impl MessageSize for () {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for bool {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for u8 {
+    fn size_bits(&self) -> usize {
+        8
+    }
+}
+
+impl MessageSize for u32 {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+impl MessageSize for u64 {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+impl MessageSize for usize {
+    fn size_bits(&self) -> usize {
+        usize::BITS as usize
+    }
+}
+
+/// 64-bit IEEE-754 values are used to carry *transmittable* fractional values
+/// (multiples of `2^-ι`, Section 2); they fit in `O(log n)` bits because only
+/// `ι = O(log n)` significant bits are ever used.
+impl MessageSize for f64 {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize, C: MessageSize> MessageSize for (A, B, C) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits() + self.2.size_bits()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn size_bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::size_bits)
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn size_bits(&self) -> usize {
+        32 + self.iter().map(MessageSize::size_bits).sum::<usize>()
+    }
+}
+
+impl MessageSize for crate::NodeId {
+    fn size_bits(&self) -> usize {
+        // A node identifier is an O(log n) bit quantity; we charge the size of
+        // the smallest power-of-two word that can hold it, bounded below by 1.
+        let v = self.0.max(1);
+        (usize::BITS - v.leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(().size_bits(), 1);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(0u8.size_bits(), 8);
+        assert_eq!(0u32.size_bits(), 32);
+        assert_eq!(0u64.size_bits(), 64);
+        assert_eq!(1.5f64.size_bits(), 64);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2u32).size_bits(), 64);
+        assert_eq!((1u8, 2u8, true).size_bits(), 17);
+        assert_eq!(Some(3u8).size_bits(), 9);
+        assert_eq!(None::<u8>.size_bits(), 1);
+        assert_eq!(vec![1u8, 2u8].size_bits(), 32 + 16);
+    }
+
+    #[test]
+    fn node_id_size_is_logarithmic() {
+        assert!(NodeId(1).size_bits() <= 1);
+        assert_eq!(NodeId(255).size_bits(), 8);
+        assert_eq!(NodeId(256).size_bits(), 9);
+        assert!(NodeId(1_000_000).size_bits() <= 20);
+    }
+}

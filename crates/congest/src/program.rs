@@ -1,0 +1,510 @@
+//! Strict round-synchronous message-passing execution.
+//!
+//! Algorithms implemented against [`NodeProgram`] run exactly as the CONGEST
+//! model prescribes: in every round each node may send one message to each of
+//! its neighbors, all messages are delivered at the beginning of the next
+//! round, and each message is charged against the bandwidth budget.
+
+use crate::message::MessageSize;
+use crate::{Graph, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Read-only view of a node's environment handed to the node program.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeContext<'a> {
+    /// The node executing the program.
+    pub id: NodeId,
+    /// The network graph. Programs may only use *local* information (their
+    /// own adjacency); the full reference is exposed for convenience but
+    /// well-behaved programs restrict themselves to `neighbors()`/`degree()`.
+    pub graph: &'a Graph,
+    /// The current round, starting at `1` for the first invocation of
+    /// [`NodeProgram::round`]. During [`NodeProgram::init`] the value is `0`.
+    pub round: u64,
+}
+
+impl<'a> NodeContext<'a> {
+    /// Number of nodes in the network (global knowledge of `n` is standard in
+    /// the CONGEST model).
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Degree of the executing node.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.id)
+    }
+
+    /// Neighbors of the executing node.
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.graph.neighbors(self.id)
+    }
+
+    /// Maximum degree of the network (also commonly assumed global knowledge).
+    pub fn max_degree(&self) -> usize {
+        self.graph.max_degree()
+    }
+}
+
+/// Messages received by a node at the start of a round, tagged by sender.
+#[derive(Debug, Clone)]
+pub struct Inbox<M> {
+    messages: Vec<(NodeId, M)>,
+}
+
+impl<M> Inbox<M> {
+    fn new() -> Self {
+        Inbox { messages: Vec::new() }
+    }
+
+    /// Iterates over `(sender, message)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(NodeId, M)> {
+        self.messages.iter()
+    }
+
+    /// The message received from `sender`, if any.
+    pub fn from(&self, sender: NodeId) -> Option<&M> {
+        self.messages
+            .iter()
+            .find(|(s, _)| *s == sender)
+            .map(|(_, m)| m)
+    }
+
+    /// Number of messages received this round.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether no messages were received this round.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// The decision a node takes at the end of a round.
+#[derive(Debug, Clone)]
+pub enum RoundAction<M, O> {
+    /// Keep running and send the given messages (each addressed to a
+    /// neighbor) at the end of this round.
+    Continue(Vec<(NodeId, M)>),
+    /// Terminate locally with the given output. A halted node sends no
+    /// further messages and ignores incoming ones.
+    Halt(O),
+}
+
+/// A per-node state machine executed by [`SyncExecutor`].
+///
+/// All nodes run the same program type but each node owns its own instance
+/// (and therefore its own local state).
+pub trait NodeProgram {
+    /// Message type exchanged with neighbors.
+    type Message: Clone + MessageSize;
+    /// Local output produced when the node halts.
+    type Output: Clone;
+
+    /// Called once before the first round; returns the messages to send in
+    /// round 1.
+    fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, Self::Message)>;
+
+    /// Called once per round with the messages received in that round.
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<Self::Message>,
+    ) -> RoundAction<Self::Message, Self::Output>;
+}
+
+/// Configuration of a [`SyncExecutor`] run.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Abort with [`ExecutionError::RoundLimitExceeded`] after this many rounds.
+    pub max_rounds: u64,
+    /// Bandwidth budget per message in bits; `None` selects
+    /// [`crate::congest_bandwidth_bits`] for the graph (CONGEST). Use a huge
+    /// budget to simulate the LOCAL model.
+    pub bandwidth_bits: Option<usize>,
+    /// If `true`, a message exceeding the budget aborts the run; if `false`
+    /// the violation is only counted in the report.
+    pub enforce_bandwidth: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            max_rounds: 1_000_000,
+            bandwidth_bits: None,
+            enforce_bandwidth: false,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// A configuration for the LOCAL model: unbounded messages.
+    pub fn local_model() -> Self {
+        ExecutorConfig {
+            bandwidth_bits: Some(usize::MAX),
+            ..ExecutorConfig::default()
+        }
+    }
+
+    /// A strict CONGEST configuration: the default bandwidth is enforced.
+    pub fn strict_congest() -> Self {
+        ExecutorConfig {
+            enforce_bandwidth: true,
+            ..ExecutorConfig::default()
+        }
+    }
+}
+
+/// Statistics and outputs of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Number of rounds executed until the last node halted.
+    pub rounds: u64,
+    /// Total number of messages delivered.
+    pub messages: u64,
+    /// Largest message observed, in bits.
+    pub max_message_bits: usize,
+    /// Number of messages that exceeded the bandwidth budget.
+    pub bandwidth_violations: u64,
+    /// The bandwidth budget the run was charged against.
+    pub bandwidth_bits: usize,
+}
+
+/// Errors produced by [`SyncExecutor::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// A node addressed a message to a non-neighbor.
+    NotANeighbor {
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// The round limit was reached before all nodes halted.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The number of supplied programs does not match the number of nodes.
+    ProgramCountMismatch {
+        /// Programs supplied.
+        programs: usize,
+        /// Nodes in the graph.
+        nodes: usize,
+    },
+    /// A message exceeded the bandwidth budget while enforcement was enabled.
+    BandwidthExceeded {
+        /// Sender of the offending message.
+        from: NodeId,
+        /// Size of the offending message in bits.
+        bits: usize,
+        /// The configured budget in bits.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionError::NotANeighbor { from, to } => {
+                write!(f, "node {from} attempted to send to non-neighbor {to}")
+            }
+            ExecutionError::RoundLimitExceeded { limit } => {
+                write!(f, "round limit of {limit} exceeded before termination")
+            }
+            ExecutionError::ProgramCountMismatch { programs, nodes } => {
+                write!(f, "{programs} programs supplied for {nodes} nodes")
+            }
+            ExecutionError::BandwidthExceeded { from, bits, budget } => {
+                write!(f, "message of {bits} bits from {from} exceeds budget of {budget} bits")
+            }
+        }
+    }
+}
+
+impl Error for ExecutionError {}
+
+/// The synchronous executor: drives all node programs round by round until
+/// every node has halted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncExecutor;
+
+impl SyncExecutor {
+    /// Runs `programs[v]` on node `v` of `graph` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] if a program misbehaves (sends to a
+    /// non-neighbor, exceeds an enforced bandwidth budget) or if the round
+    /// limit is hit.
+    pub fn run<P: NodeProgram>(
+        graph: &Graph,
+        mut programs: Vec<P>,
+        config: &ExecutorConfig,
+    ) -> Result<RunReport<P::Output>, ExecutionError> {
+        let n = graph.n();
+        if programs.len() != n {
+            return Err(ExecutionError::ProgramCountMismatch {
+                programs: programs.len(),
+                nodes: n,
+            });
+        }
+        let bandwidth = config
+            .bandwidth_bits
+            .unwrap_or_else(|| crate::congest_bandwidth_bits(n));
+
+        let mut outputs: Vec<Option<P::Output>> = vec![None; n];
+        let mut halted = vec![false; n];
+        let mut inboxes: Vec<Inbox<P::Message>> = (0..n).map(|_| Inbox::new()).collect();
+        let mut total_messages = 0u64;
+        let mut max_message_bits = 0usize;
+        let mut violations = 0u64;
+
+        // Round 0: init.
+        let mut pending: Vec<Vec<(NodeId, P::Message)>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let ctx = NodeContext {
+                id: NodeId(v),
+                graph,
+                round: 0,
+            };
+            pending.push(programs[v].init(&ctx));
+        }
+
+        let mut round = 0u64;
+        loop {
+            // Deliver.
+            for inbox in inboxes.iter_mut() {
+                inbox.messages.clear();
+            }
+            for (v, outbox) in pending.iter_mut().enumerate() {
+                for (target, msg) in outbox.drain(..) {
+                    if !graph.has_edge(NodeId(v), target) {
+                        return Err(ExecutionError::NotANeighbor {
+                            from: NodeId(v),
+                            to: target,
+                        });
+                    }
+                    let bits = msg.size_bits();
+                    max_message_bits = max_message_bits.max(bits);
+                    if bits > bandwidth {
+                        violations += 1;
+                        if config.enforce_bandwidth {
+                            return Err(ExecutionError::BandwidthExceeded {
+                                from: NodeId(v),
+                                bits,
+                                budget: bandwidth,
+                            });
+                        }
+                    }
+                    total_messages += 1;
+                    if !halted[target.0] {
+                        inboxes[target.0].messages.push((NodeId(v), msg));
+                    }
+                }
+            }
+
+            if halted.iter().all(|&h| h) {
+                break;
+            }
+            round += 1;
+            if round > config.max_rounds {
+                return Err(ExecutionError::RoundLimitExceeded {
+                    limit: config.max_rounds,
+                });
+            }
+
+            // Execute the round on all live nodes.
+            for v in 0..n {
+                if halted[v] {
+                    continue;
+                }
+                let ctx = NodeContext {
+                    id: NodeId(v),
+                    graph,
+                    round,
+                };
+                match programs[v].round(&ctx, &inboxes[v]) {
+                    RoundAction::Continue(outbox) => pending[v] = outbox,
+                    RoundAction::Halt(out) => {
+                        outputs[v] = Some(out);
+                        halted[v] = true;
+                        pending[v] = Vec::new();
+                    }
+                }
+            }
+        }
+
+        Ok(RunReport {
+            outputs: outputs.into_iter().map(|o| o.expect("halted node has output")).collect(),
+            rounds: round,
+            messages: total_messages,
+            max_message_bits,
+            bandwidth_violations: violations,
+            bandwidth_bits: bandwidth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every node floods its identifier for `k` rounds and outputs the
+    /// smallest identifier it has heard of — after `diameter` rounds every
+    /// node knows the global minimum.
+    struct MinId {
+        best: usize,
+        rounds: u64,
+    }
+
+    impl NodeProgram for MinId {
+        type Message = NodeId;
+        type Output = usize;
+
+        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, NodeId)> {
+            self.best = ctx.id.0;
+            ctx.neighbors().iter().map(|&u| (u, NodeId(self.best))).collect()
+        }
+
+        fn round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &Inbox<NodeId>,
+        ) -> RoundAction<NodeId, usize> {
+            for (_, m) in inbox.iter() {
+                self.best = self.best.min(m.0);
+            }
+            if ctx.round >= self.rounds {
+                RoundAction::Halt(self.best)
+            } else {
+                RoundAction::Continue(
+                    ctx.neighbors().iter().map(|&u| (u, NodeId(self.best))).collect(),
+                )
+            }
+        }
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn min_id_flood_converges_on_a_path() {
+        let g = path_graph(6);
+        let programs: Vec<_> = (0..6).map(|_| MinId { best: usize::MAX, rounds: 6 }).collect();
+        let report = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap();
+        assert!(report.outputs.iter().all(|&o| o == 0));
+        assert_eq!(report.rounds, 6);
+        assert!(report.messages > 0);
+        assert!(report.max_message_bits <= report.bandwidth_bits);
+        assert_eq!(report.bandwidth_violations, 0);
+    }
+
+    #[test]
+    fn too_few_rounds_does_not_converge() {
+        let g = path_graph(8);
+        let programs: Vec<_> = (0..8).map(|_| MinId { best: usize::MAX, rounds: 2 }).collect();
+        let report = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap();
+        // Node 7 is at distance 7 from node 0; after 2 rounds it cannot know 0.
+        assert_ne!(report.outputs[7], 0);
+    }
+
+    #[test]
+    fn program_count_mismatch_is_an_error() {
+        let g = path_graph(3);
+        let programs: Vec<MinId> = vec![];
+        let err = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecutionError::ProgramCountMismatch { .. }));
+    }
+
+    struct BadSender;
+    impl NodeProgram for BadSender {
+        type Message = usize;
+        type Output = ();
+        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, usize)> {
+            if ctx.id.0 == 0 {
+                // Node 2 is not a neighbor of node 0 on a path.
+                vec![(NodeId(2), 1)]
+            } else {
+                vec![]
+            }
+        }
+        fn round(&mut self, _: &NodeContext<'_>, _: &Inbox<usize>) -> RoundAction<usize, ()> {
+            RoundAction::Halt(())
+        }
+    }
+
+    #[test]
+    fn sending_to_non_neighbor_is_an_error() {
+        let g = path_graph(3);
+        let programs: Vec<_> = (0..3).map(|_| BadSender).collect();
+        let err = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecutionError::NotANeighbor { .. }));
+    }
+
+    struct NeverHalts;
+    impl NodeProgram for NeverHalts {
+        type Message = ();
+        type Output = ();
+        fn init(&mut self, _: &NodeContext<'_>) -> Vec<(NodeId, ())> {
+            vec![]
+        }
+        fn round(&mut self, _: &NodeContext<'_>, _: &Inbox<()>) -> RoundAction<(), ()> {
+            RoundAction::Continue(vec![])
+        }
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = path_graph(2);
+        let programs: Vec<_> = (0..2).map(|_| NeverHalts).collect();
+        let config = ExecutorConfig { max_rounds: 10, ..ExecutorConfig::default() };
+        let err = SyncExecutor::run(&g, programs, &config).unwrap_err();
+        assert_eq!(err, ExecutionError::RoundLimitExceeded { limit: 10 });
+    }
+
+    struct FatMessage;
+    impl NodeProgram for FatMessage {
+        type Message = Vec<u64>;
+        type Output = ();
+        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, Vec<u64>)> {
+            ctx.neighbors().iter().map(|&u| (u, vec![0u64; 64])).collect()
+        }
+        fn round(&mut self, _: &NodeContext<'_>, _: &Inbox<Vec<u64>>) -> RoundAction<Vec<u64>, ()> {
+            RoundAction::Halt(())
+        }
+    }
+
+    #[test]
+    fn bandwidth_violations_counted_and_enforced() {
+        let g = path_graph(2);
+        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
+        let report = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap();
+        assert!(report.bandwidth_violations > 0);
+
+        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
+        let err = SyncExecutor::run(&g, programs, &ExecutorConfig::strict_congest()).unwrap_err();
+        assert!(matches!(err, ExecutionError::BandwidthExceeded { .. }));
+
+        // The same messages are fine in the LOCAL model.
+        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
+        let report = SyncExecutor::run(&g, programs, &ExecutorConfig::local_model()).unwrap();
+        assert_eq!(report.bandwidth_violations, 0);
+    }
+
+    #[test]
+    fn inbox_lookup_by_sender() {
+        let mut inbox = Inbox::new();
+        inbox.messages.push((NodeId(3), 42usize));
+        assert_eq!(inbox.from(NodeId(3)), Some(&42));
+        assert_eq!(inbox.from(NodeId(1)), None);
+        assert_eq!(inbox.len(), 1);
+        assert!(!inbox.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Exact minimum dominating set via branch and bound.
+//!
+//! Used by experiment E1 to measure true approximation ratios on small
+//! instances (up to roughly 60–70 nodes, depending on structure). Coverage is
+//! tracked in 128-bit masks per word, so any `n` is supported, but the search
+//! is exponential and guarded by a configurable node budget.
+
+use crate::greedy;
+use congest_sim::{Graph, NodeId};
+
+/// Result of an exact computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactResult {
+    /// An optimal dominating set.
+    pub set: Vec<NodeId>,
+    /// Number of branch-and-bound nodes explored.
+    pub explored: u64,
+}
+
+impl ExactResult {
+    /// Size of the optimum.
+    pub fn size(&self) -> usize {
+        self.set.len()
+    }
+}
+
+/// Bitset over the graph nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Mask {
+    words: Vec<u128>,
+}
+
+impl Mask {
+    fn new(n: usize) -> Self {
+        Mask { words: vec![0; n.div_ceil(128)] }
+    }
+    fn set(&mut self, i: usize) {
+        self.words[i / 128] |= 1u128 << (i % 128);
+    }
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 128] >> (i % 128) & 1 == 1
+    }
+    fn or_with(&mut self, other: &Mask) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+    fn new_bits_with(&self, other: &Mask) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (b & !a).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Computes an exact minimum dominating set, or `None` if the graph has more
+/// than `node_budget` nodes (the search would be too expensive).
+pub fn exact_mds(graph: &Graph, node_budget: usize) -> Option<ExactResult> {
+    let n = graph.n();
+    if n > node_budget {
+        return None;
+    }
+    if n == 0 {
+        return Some(ExactResult { set: vec![], explored: 0 });
+    }
+    let closed: Vec<Mask> = graph
+        .nodes()
+        .map(|v| {
+            let mut m = Mask::new(n);
+            for u in graph.inclusive_neighbors(v) {
+                m.set(u.0);
+            }
+            m
+        })
+        .collect();
+    let max_cover = graph.delta_tilde();
+
+    let greedy_set = greedy::greedy_mds(graph).set;
+    let mut best: Vec<usize> = greedy_set.iter().map(|v| v.0).collect();
+
+    let mut explored = 0u64;
+    let mut current: Vec<usize> = Vec::new();
+    let covered = Mask::new(n);
+    branch(
+        graph,
+        &closed,
+        max_cover,
+        &covered,
+        &mut current,
+        &mut best,
+        &mut explored,
+    );
+
+    let mut set: Vec<NodeId> = best.into_iter().map(NodeId).collect();
+    set.sort_unstable();
+    Some(ExactResult { set, explored })
+}
+
+fn branch(
+    graph: &Graph,
+    closed: &[Mask],
+    max_cover: usize,
+    covered: &Mask,
+    current: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+    explored: &mut u64,
+) {
+    *explored += 1;
+    let n = graph.n();
+    let uncovered = n - covered.count();
+    if uncovered == 0 {
+        if current.len() < best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    // Lower bound: every added node covers at most Δ̃ new nodes.
+    let lower = current.len() + uncovered.div_ceil(max_cover);
+    if lower >= best.len() {
+        return;
+    }
+    // Pick the uncovered node with the fewest potential coverers; one of its
+    // closed neighbors must be in any dominating set.
+    let target = graph
+        .nodes()
+        .filter(|v| !covered.get(v.0))
+        .min_by_key(|&v| graph.inclusive_degree(v))
+        .expect("some node is uncovered");
+    // Branch on the coverers in decreasing order of new coverage.
+    let mut choices: Vec<NodeId> = graph.inclusive_neighbors(target).collect();
+    choices.sort_by_key(|&u| std::cmp::Reverse(covered.new_bits_with(&closed[u.0])));
+    for u in choices {
+        let mut next = covered.clone();
+        next.or_with(&closed[u.0]);
+        current.push(u.0);
+        branch(graph, closed, max_cover, &next, current, best, explored);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_dominating_set;
+    use mds_graphs::generators;
+
+    #[test]
+    fn known_optima() {
+        assert_eq!(exact_mds(&generators::star(15), 64).unwrap().size(), 1);
+        assert_eq!(exact_mds(&generators::complete(12), 64).unwrap().size(), 1);
+        // Path on n nodes needs ceil(n/3).
+        assert_eq!(exact_mds(&generators::path(9), 64).unwrap().size(), 3);
+        assert_eq!(exact_mds(&generators::path(10), 64).unwrap().size(), 4);
+        // Cycle on n nodes needs ceil(n/3).
+        assert_eq!(exact_mds(&generators::cycle(12), 64).unwrap().size(), 4);
+        // Caterpillar: the spine is optimal.
+        assert_eq!(exact_mds(&generators::caterpillar(5, 3), 64).unwrap().size(), 5);
+    }
+
+    #[test]
+    fn exact_output_is_dominating_and_no_larger_than_greedy() {
+        for seed in 0..4 {
+            let g = generators::gnp(30, 0.12, seed);
+            let exact = exact_mds(&g, 64).unwrap();
+            assert!(is_dominating_set(&g, &exact.set));
+            let greedy_size = greedy::greedy_mds(&g).size();
+            assert!(exact.size() <= greedy_size);
+            // Greedy respects its ln Δ̃ + 1 guarantee against the true optimum.
+            let guarantee = 1.0 + (g.delta_tilde() as f64).ln();
+            assert!(greedy_size as f64 <= guarantee * exact.size() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn oversized_graphs_are_refused() {
+        let g = generators::gnp(80, 0.05, 1);
+        assert!(exact_mds(&g, 50).is_none());
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        assert_eq!(exact_mds(&congest_sim::Graph::empty(0), 10).unwrap().size(), 0);
+        assert_eq!(exact_mds(&congest_sim::Graph::empty(5), 10).unwrap().size(), 5);
+    }
+
+    #[test]
+    fn grid_optimum_matches_known_value() {
+        // The 4x4 grid has domination number 4.
+        let g = generators::grid(4, 4);
+        assert_eq!(exact_mds(&g, 64).unwrap().size(), 4);
+    }
+
+    #[test]
+    fn exact_beats_or_matches_lp_lower_bound() {
+        let g = generators::gnp(25, 0.2, 9);
+        let exact = exact_mds(&g, 64).unwrap();
+        let lb = mds_fractional::lp::dual_lower_bound(&g);
+        assert!(exact.size() as f64 >= lb - 1e-9);
+    }
+}

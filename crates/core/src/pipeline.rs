@@ -1,0 +1,473 @@
+//! The three-part deterministic MDS pipeline (Section 3.4).
+//!
+//! * **Part I** — the `ε/(2Δ̃)`-fractional, `(1+ε)`-approximate initial
+//!   solution of Lemma 2.1 (`mds-fractional`).
+//! * **Part II** — `O(log Δ)` iterations of factor-two rounding (Lemmas 3.9 /
+//!   3.14) that raise the fractionality to `1/F` with `F = Θ(ε⁻³ log Δ̃)`.
+//! * **Part III** — one application of one-shot rounding (Lemmas 3.8 / 3.13)
+//!   that produces the integral dominating set, losing the final `ln Δ̃`
+//!   factor.
+//!
+//! The derandomization route decides who fixes their coins when and therefore
+//! the round complexity:
+//!
+//! * [`theorem_1_1`] — clusters of a 2-hop network decomposition fix coins
+//!   cluster-by-cluster, color class by color class
+//!   (runtime `2^{O(√(log n log log n))}` in the paper's accounting).
+//! * [`theorem_1_2`] — a distance-two coloring of the degree-reduced
+//!   bipartite representation; color classes fix their coins in parallel
+//!   (runtime `O(Δ·poly log Δ + poly log Δ·log* n)`).
+//! * [`corollary_1_3`] — the LOCAL-model variant of the coloring route.
+//!
+//! The paper's constants (`F = 256·ε⁻³·ln Δ̃`, `s = 64·ε⁻²·ln Δ̃`) make Part II
+//! vacuous on any graph that fits in memory (the paper notes this itself for
+//! small `Δ`); [`MdsConfig::concentration_scale`] scales them down so the
+//! doubling loop is actually exercised (substitution R6 in `DESIGN.md`).
+
+use congest_sim::ledger::formulas;
+use congest_sim::{Graph, NodeId, RoundLedger};
+use mds_decomposition::coloring::{bipartite_distance_two_coloring, BipartiteColoring};
+use mds_decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
+use mds_fractional::lemma21::{initial_fractional_solution, FractionalMethod, InitialSolutionConfig};
+use mds_fractional::FractionalAssignment;
+use mds_graphs::BipartiteGraph;
+use mds_rounding::derandomize::{derandomize, DerandomizeConfig};
+use mds_rounding::factor_two::{FactorTwoConfig, FactorTwoRounding};
+use mds_rounding::one_shot::OneShotRounding;
+use mds_rounding::problem::RoundingProblem;
+use mds_rounding::EstimatorKind;
+
+/// Which derandomization machinery drives the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DerandRoute {
+    /// Theorem 1.1: 2-hop network decomposition, runtime as a function of `n`.
+    NetworkDecomposition {
+        /// Separation parameter of the decomposition (the paper uses 2).
+        k: usize,
+    },
+    /// Theorem 1.2: distance-two colorings of the degree-reduced bipartite
+    /// representation, runtime as a function of `Δ` (CONGEST model).
+    Coloring,
+    /// Corollary 1.3: the coloring route with LOCAL-model round accounting.
+    ColoringLocal,
+}
+
+/// Configuration of the deterministic MDS pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdsConfig {
+    /// The ε of Theorems 1.1/1.2; the guarantee is `(1+ε)(1+ln(Δ+1))`.
+    pub epsilon: f64,
+    /// Derandomization route.
+    pub route: DerandRoute,
+    /// Which fractional solver provides the Part I solution.
+    pub fractional: FractionalMethod,
+    /// Estimator used by the method of conditional expectations.
+    pub estimator: EstimatorKind,
+    /// Scale factor on the paper's concentration constants (R6); `1.0` is the
+    /// literal paper, smaller values exercise Part II on small graphs.
+    pub concentration_scale: f64,
+    /// Safety cap on the number of factor-two iterations.
+    pub max_doubling_iterations: usize,
+}
+
+impl Default for MdsConfig {
+    fn default() -> Self {
+        MdsConfig {
+            epsilon: 0.5,
+            route: DerandRoute::NetworkDecomposition { k: 2 },
+            fractional: FractionalMethod::Mwu(mds_fractional::lp::LpConfig::default()),
+            estimator: EstimatorKind::default(),
+            concentration_scale: 0.02,
+            max_doubling_iterations: 40,
+        }
+    }
+}
+
+/// A snapshot of the assignment after one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage name (`"part I"`, `"factor-two #3"`, `"one-shot"`, …).
+    pub name: String,
+    /// Size of the assignment after the stage.
+    pub size: f64,
+    /// Fractionality of the assignment after the stage.
+    pub fractionality: f64,
+}
+
+/// The output of the deterministic pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdsResult {
+    /// The computed dominating set.
+    pub dominating_set: Vec<NodeId>,
+    /// The final (integral) assignment.
+    pub assignment: FractionalAssignment,
+    /// Round/message accounting across all parts.
+    pub ledger: RoundLedger,
+    /// Per-stage size/fractionality trajectory (experiment E5).
+    pub stages: Vec<StageRecord>,
+    /// Certified lower bound on the LP optimum (and hence on OPT).
+    pub lp_lower_bound: f64,
+    /// The ε the pipeline was run with.
+    pub epsilon: f64,
+}
+
+impl MdsResult {
+    /// Size of the dominating set.
+    pub fn size(&self) -> usize {
+        self.dominating_set.len()
+    }
+
+    /// The approximation guarantee `(1+ε)(1+ln(Δ+1))` for this run.
+    pub fn guarantee(&self, graph: &Graph) -> f64 {
+        (1.0 + self.epsilon) * (1.0 + (graph.delta_tilde().max(2) as f64).ln())
+    }
+}
+
+/// Runs the pipeline with the route selected in `config`.
+pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
+    let n = graph.n();
+    let delta_tilde = graph.delta_tilde().max(2);
+    let mut ledger = RoundLedger::new();
+    let mut stages = Vec::new();
+
+    // ---- Part I: initial fractional solution (Lemma 2.1). ----
+    let eps1 = (config.epsilon / 4.0).min(0.25).max(1e-3);
+    let initial = initial_fractional_solution(
+        graph,
+        &InitialSolutionConfig {
+            epsilon: eps1,
+            method: config.fractional.clone(),
+            make_transmittable: true,
+        },
+    );
+    ledger.absorb(initial.ledger.clone());
+    let mut assignment = initial.assignment;
+    stages.push(StageRecord {
+        name: "part I: initial fractional solution".to_owned(),
+        size: assignment.size(),
+        fractionality: assignment.fractionality(),
+    });
+
+    // Precompute the derandomization structure shared by all rounding steps.
+    let decomposition = match &config.route {
+        DerandRoute::NetworkDecomposition { k } => {
+            let nd = strong_diameter_decomposition(graph, (*k).max(1), &DecompositionConfig::default());
+            ledger.absorb(nd.ledger.clone());
+            Some(nd)
+        }
+        _ => None,
+    };
+    let nd_groups: Option<Vec<Vec<usize>>> = decomposition.as_ref().map(|nd| {
+        nd.clusters_by_color()
+            .into_iter()
+            .flatten()
+            .map(|ci| nd.clusters.clusters[ci].members.iter().map(|v| v.0).collect())
+            .collect()
+    });
+
+    // ---- Part II: factor-two doubling loop (Lemmas 3.9 / 3.14). ----
+    let rho = ((delta_tilde as f64 / config.epsilon).log2().ceil()).max(1.0);
+    let eps2 = (config.epsilon / (4.0 * rho)).max(1e-4);
+    let f_target = (config.concentration_scale * 256.0 * config.epsilon.powi(-3)
+        * (delta_tilde as f64).ln())
+    .max(4.0);
+    let mut iteration = 0usize;
+    loop {
+        let r = 1.0 / assignment.fractionality().max(1e-12);
+        if r <= f_target || iteration >= config.max_doubling_iterations {
+            break;
+        }
+        iteration += 1;
+        let ft_config = FactorTwoConfig {
+            epsilon: eps2,
+            r,
+            split_size: Some(
+                mds_rounding::factor_two::paper_split_size(
+                    config.epsilon,
+                    delta_tilde,
+                    config.concentration_scale,
+                )
+                .max(2),
+            ),
+            concentration_scale: config.concentration_scale,
+        };
+        let problem = match &config.route {
+            DerandRoute::NetworkDecomposition { .. } => {
+                FactorTwoRounding::on_graph(graph, &assignment, &ft_config).into_problem()
+            }
+            DerandRoute::Coloring | DerandRoute::ColoringLocal => {
+                FactorTwoRounding::bipartite_split(graph, &assignment, &ft_config).into_problem()
+            }
+        };
+        let (groups, charge) = derandomization_groups(
+            graph,
+            &problem,
+            config,
+            nd_groups.as_deref(),
+            decomposition.as_ref(),
+        );
+        ledger.absorb(charge);
+        let out = derandomize(
+            &problem,
+            &DerandomizeConfig { estimator: config.estimator, groups: Some(groups) },
+        );
+        assignment = out.output;
+        stages.push(StageRecord {
+            name: format!("part II: factor-two rounding #{iteration}"),
+            size: assignment.size(),
+            fractionality: assignment.fractionality(),
+        });
+        if assignment.is_integral() {
+            break;
+        }
+    }
+
+    // ---- Part III: one-shot rounding (Lemmas 3.8 / 3.13). ----
+    let assignment = if assignment.is_integral() {
+        assignment
+    } else {
+        let f_actual = (1.0 / assignment.fractionality().max(1e-12)).ceil() as usize;
+        let problem = match &config.route {
+            DerandRoute::NetworkDecomposition { .. } => {
+                OneShotRounding::on_graph(graph, &assignment).into_problem()
+            }
+            DerandRoute::Coloring | DerandRoute::ColoringLocal => {
+                OneShotRounding::degree_reduced(graph, &assignment, f_actual.max(1)).into_problem()
+            }
+        };
+        let (groups, charge) = derandomization_groups(
+            graph,
+            &problem,
+            config,
+            nd_groups.as_deref(),
+            decomposition.as_ref(),
+        );
+        ledger.absorb(charge);
+        let out = derandomize(
+            &problem,
+            &DerandomizeConfig { estimator: config.estimator, groups: Some(groups) },
+        );
+        out.output
+    };
+    stages.push(StageRecord {
+        name: "part III: one-shot rounding".to_owned(),
+        size: assignment.size(),
+        fractionality: assignment.fractionality(),
+    });
+
+    debug_assert!(assignment.is_integral());
+    debug_assert!(assignment.is_feasible_dominating_set(graph));
+    let dominating_set = assignment.selected_nodes();
+    let _ = n;
+    MdsResult {
+        dominating_set,
+        assignment,
+        ledger,
+        stages,
+        lp_lower_bound: initial.lp_lower_bound,
+        epsilon: config.epsilon,
+    }
+}
+
+/// Computes the coin-fixing groups for one rounding step and the round charge
+/// for setting them up and using them.
+fn derandomization_groups(
+    graph: &Graph,
+    problem: &RoundingProblem,
+    config: &MdsConfig,
+    nd_groups: Option<&[Vec<usize>]>,
+    decomposition: Option<&mds_decomposition::NetworkDecomposition>,
+) -> (Vec<Vec<usize>>, RoundLedger) {
+    let n = graph.n().max(2);
+    let mut ledger = RoundLedger::new();
+    match &config.route {
+        DerandRoute::NetworkDecomposition { .. } => {
+            let nd = decomposition.expect("decomposition precomputed for this route");
+            let groups = nd_groups.expect("groups precomputed").to_vec();
+            ledger.charge_with_formula(
+                "derandomization via network decomposition (Lemma 3.4)",
+                groups.iter().map(|g| g.len() as u64).sum::<u64>()
+                    * (nd.diameter() as u64 + 1),
+                formulas::netdecomp_derandomization_rounds(n, nd.num_colors(), nd.diameter() + 1),
+                problem.values.len() as u64 * 2,
+            );
+            (groups, ledger)
+        }
+        DerandRoute::Coloring | DerandRoute::ColoringLocal => {
+            let (coloring, bipartite) = color_problem(problem);
+            ledger.absorb(coloring.ledger.clone());
+            let local = matches!(config.route, DerandRoute::ColoringLocal);
+            let formula = if local {
+                // Corollary 1.3: the coloring can be computed in
+                // O(F·Δ + log* n) rounds in the LOCAL model.
+                (bipartite.max_left_degree() * graph.max_degree().max(1)) as u64
+                    + formulas::log_star(n) as u64
+                    + formulas::coloring_derandomization_rounds(coloring.num_colors)
+            } else {
+                formulas::coloring_derandomization_rounds(coloring.num_colors)
+            };
+            ledger.charge_with_formula(
+                "derandomization via distance-two coloring (Lemma 3.10)",
+                coloring.num_colors as u64 * 2,
+                formula,
+                problem.values.len() as u64 * 2,
+            );
+            (coloring.classes(), ledger)
+        }
+    }
+}
+
+/// Builds the constraint/value bipartite graph of a rounding problem and
+/// colors its participating value nodes (Lemma 3.12 applied to the problem).
+fn color_problem(problem: &RoundingProblem) -> (BipartiteColoring, BipartiteGraph) {
+    let mut b = BipartiteGraph::new(problem.constraints.len(), problem.values.len());
+    for (ci, c) in problem.constraints.iter().enumerate() {
+        for &m in &c.members {
+            b.add_edge(ci, m);
+        }
+    }
+    let targets = problem.participating_values();
+    let coloring = bipartite_distance_two_coloring(&b, &targets, problem.n_original.max(2));
+    (coloring, b)
+}
+
+/// Theorem 1.1: the network-decomposition route.
+pub fn theorem_1_1(graph: &Graph, config: &MdsConfig) -> MdsResult {
+    let mut config = config.clone();
+    if !matches!(config.route, DerandRoute::NetworkDecomposition { .. }) {
+        config.route = DerandRoute::NetworkDecomposition { k: 2 };
+    }
+    run(graph, &config)
+}
+
+/// Theorem 1.2: the coloring route (CONGEST).
+pub fn theorem_1_2(graph: &Graph, config: &MdsConfig) -> MdsResult {
+    let mut config = config.clone();
+    config.route = DerandRoute::Coloring;
+    run(graph, &config)
+}
+
+/// Corollary 1.3: the coloring route with LOCAL-model accounting.
+pub fn corollary_1_3(graph: &Graph, config: &MdsConfig) -> MdsResult {
+    let mut config = config.clone();
+    config.route = DerandRoute::ColoringLocal;
+    run(graph, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_dominating_set;
+    use mds_graphs::generators;
+
+    fn quick_config() -> MdsConfig {
+        MdsConfig {
+            fractional: FractionalMethod::Mwu(mds_fractional::lp::LpConfig {
+                epsilon: 0.2,
+                iterations: Some(60),
+                binary_search_steps: 10,
+            }),
+            ..MdsConfig::default()
+        }
+    }
+
+    #[test]
+    fn theorem_1_1_produces_a_dominating_set() {
+        for seed in 0..3 {
+            let g = generators::gnp(50, 0.1, seed);
+            let result = theorem_1_1(&g, &quick_config());
+            assert!(is_dominating_set(&g, &result.dominating_set));
+            assert!(result.assignment.is_integral());
+            assert!(result.ledger.total_simulated_rounds() > 0);
+        }
+    }
+
+    #[test]
+    fn theorem_1_2_produces_a_dominating_set() {
+        for seed in 0..3 {
+            let g = generators::gnp(50, 0.1, seed + 10);
+            let result = theorem_1_2(&g, &quick_config());
+            assert!(is_dominating_set(&g, &result.dominating_set));
+        }
+    }
+
+    #[test]
+    fn corollary_1_3_matches_coloring_route_output() {
+        let g = generators::gnp(40, 0.12, 3);
+        let congest = theorem_1_2(&g, &quick_config());
+        let local = corollary_1_3(&g, &quick_config());
+        // Same algorithm, same output; only the round accounting differs.
+        assert_eq!(congest.dominating_set, local.dominating_set);
+    }
+
+    #[test]
+    fn guarantee_holds_against_exact_optimum_on_small_graphs() {
+        for (seed, p) in [(1u64, 0.15), (2, 0.25)] {
+            let g = generators::gnp(28, p, seed);
+            let opt = crate::exact::exact_mds(&g, 40).unwrap().size() as f64;
+            for result in [theorem_1_1(&g, &quick_config()), theorem_1_2(&g, &quick_config())] {
+                let ratio = result.size() as f64 / opt;
+                assert!(
+                    ratio <= result.guarantee(&g) + 1e-9,
+                    "ratio {ratio} exceeds guarantee {}",
+                    result.guarantee(&g)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_is_solved_near_optimally() {
+        let g = generators::star(60);
+        let result = theorem_1_1(&g, &quick_config());
+        assert!(is_dominating_set(&g, &result.dominating_set));
+        // OPT = 1; the guarantee allows (1+ε)(1+ln 61) ≈ 7.7.
+        assert!(result.size() as f64 <= result.guarantee(&g));
+    }
+
+    #[test]
+    fn caterpillar_stays_within_guarantee() {
+        let g = generators::caterpillar(8, 4);
+        let opt = 8.0;
+        let result = theorem_1_2(&g, &quick_config());
+        assert!(is_dominating_set(&g, &result.dominating_set));
+        assert!(result.size() as f64 / opt <= result.guarantee(&g));
+    }
+
+    #[test]
+    fn stage_trajectory_is_recorded() {
+        let g = generators::gnp(40, 0.1, 5);
+        let result = theorem_1_1(&g, &quick_config());
+        assert!(result.stages.len() >= 2);
+        assert_eq!(result.stages.first().unwrap().name, "part I: initial fractional solution");
+        assert_eq!(result.stages.last().unwrap().name, "part III: one-shot rounding");
+        // The final stage is integral.
+        assert_eq!(result.stages.last().unwrap().fractionality, 1.0);
+    }
+
+    #[test]
+    fn doubling_loop_runs_when_concentration_scale_is_tiny() {
+        let g = generators::gnp(60, 0.2, 8);
+        let mut config = quick_config();
+        config.concentration_scale = 0.002;
+        let result = theorem_1_1(&g, &config);
+        let doubling_stages =
+            result.stages.iter().filter(|s| s.name.starts_with("part II")).count();
+        assert!(doubling_stages >= 1, "expected at least one factor-two iteration");
+        assert!(is_dominating_set(&g, &result.dominating_set));
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = congest_sim::Graph::empty(0);
+        let result = run(&g, &quick_config());
+        assert!(result.dominating_set.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_all_join_the_set() {
+        let g = congest_sim::Graph::empty(6);
+        let result = theorem_1_2(&g, &quick_config());
+        assert_eq!(result.size(), 6);
+    }
+}

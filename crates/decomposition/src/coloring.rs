@@ -1,0 +1,231 @@
+//! Deterministic distance-two colorings (Lemma 3.12).
+//!
+//! The coloring-based derandomization (Lemma 3.10) processes the nodes that
+//! flip coins one color class at a time, where two nodes of the same color
+//! must not share a constraint (i.e. they are at distance > 2 in the bipartite
+//! constraint/value graph). Lemma 3.12 colors the right-hand side of a
+//! bipartite graph with at most `Δ_L·Δ_R` colors in
+//! `O(Δ_L·Δ_R + Δ_L·log* n)` CONGEST rounds via [BEK15]; as documented in
+//! `DESIGN.md` (substitution R4) we obtain the same number of colors with a
+//! deterministic identifier-ordered greedy on the conflict graph and charge
+//! the paper's round formula to the ledger.
+
+use congest_sim::ledger::formulas;
+use congest_sim::{Graph, RoundLedger};
+use mds_graphs::BipartiteGraph;
+
+/// A coloring of the right-hand side of a bipartite graph such that two right
+/// nodes sharing a left neighbor receive different colors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BipartiteColoring {
+    /// Color of each right node (`usize::MAX` for nodes that were not asked
+    /// to be colored).
+    pub colors: Vec<usize>,
+    /// Number of colors used.
+    pub num_colors: usize,
+    /// Round accounting (the Lemma 3.12 formula).
+    pub ledger: RoundLedger,
+}
+
+impl BipartiteColoring {
+    /// Right-node indices grouped by color, in increasing color order.
+    pub fn classes(&self) -> Vec<Vec<usize>> {
+        let mut classes = vec![Vec::new(); self.num_colors];
+        for (r, &c) in self.colors.iter().enumerate() {
+            if c != usize::MAX {
+                classes[c].push(r);
+            }
+        }
+        classes
+    }
+}
+
+/// Colors the right nodes listed in `targets` of the bipartite graph `b` so
+/// that no two targets sharing a left neighbor get the same color
+/// (Lemma 3.12). `n` is the size of the underlying network, used only for the
+/// round formula.
+pub fn bipartite_distance_two_coloring(
+    b: &BipartiteGraph,
+    targets: &[usize],
+    n: usize,
+) -> BipartiteColoring {
+    let mut colors = vec![usize::MAX; b.right_count()];
+    let mut is_target = vec![false; b.right_count()];
+    for &t in targets {
+        is_target[t] = true;
+    }
+    let mut num_colors = 0usize;
+    let mut forbidden: Vec<usize> = Vec::new();
+    for &r in targets {
+        forbidden.clear();
+        for &l in b.neighbors_of_right(r) {
+            for &r2 in b.neighbors_of_left(l) {
+                if r2 != r && colors[r2] != usize::MAX {
+                    forbidden.push(colors[r2]);
+                }
+            }
+        }
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let mut color = 0usize;
+        for &f in &forbidden {
+            if f == color {
+                color += 1;
+            } else if f > color {
+                break;
+            }
+        }
+        colors[r] = color;
+        num_colors = num_colors.max(color + 1);
+    }
+
+    let mut ledger = RoundLedger::new();
+    ledger.charge_with_formula(
+        "bipartite distance-two coloring (Lemma 3.12)",
+        targets.len() as u64,
+        formulas::bipartite_coloring_rounds(b.max_left_degree(), b.max_right_degree(), n.max(2)),
+        b.edge_count() as u64,
+    );
+    BipartiteColoring { colors, num_colors, ledger }
+}
+
+/// Verifies that `coloring` is a proper distance-two coloring of `targets`.
+pub fn verify_bipartite_coloring(
+    b: &BipartiteGraph,
+    coloring: &BipartiteColoring,
+    targets: &[usize],
+) -> Result<(), String> {
+    let mut is_target = vec![false; b.right_count()];
+    for &t in targets {
+        is_target[t] = true;
+        if coloring.colors[t] == usize::MAX {
+            return Err(format!("target right node {t} is uncolored"));
+        }
+    }
+    for l in 0..b.left_count() {
+        let colored: Vec<usize> = b
+            .neighbors_of_left(l)
+            .iter()
+            .copied()
+            .filter(|&r| is_target[r])
+            .collect();
+        for (i, &a) in colored.iter().enumerate() {
+            for &c in colored.iter().skip(i + 1) {
+                if a != c && coloring.colors[a] == coloring.colors[c] {
+                    return Err(format!(
+                        "right nodes {a} and {c} share left node {l} and color {}",
+                        coloring.colors[a]
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A distance-two coloring of all nodes of an ordinary graph (i.e. a proper
+/// coloring of `G²`), via the identifier-ordered greedy. Used by the plain
+/// Lemma 3.10 instantiation when no degree reduction is applied.
+pub fn graph_distance_two_coloring(graph: &Graph) -> Vec<usize> {
+    let n = graph.n();
+    let mut colors = vec![usize::MAX; n];
+    let mut forbidden: Vec<usize> = Vec::new();
+    for v in graph.nodes() {
+        forbidden.clear();
+        for u in graph.inclusive_neighbors(v) {
+            for w in graph.inclusive_neighbors(u) {
+                if w != v && colors[w.0] != usize::MAX {
+                    forbidden.push(colors[w.0]);
+                }
+            }
+        }
+        forbidden.sort_unstable();
+        forbidden.dedup();
+        let mut color = 0usize;
+        for &f in &forbidden {
+            if f == color {
+                color += 1;
+            } else if f > color {
+                break;
+            }
+        }
+        colors[v.0] = color;
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_graphs::bipartite::BipartiteRepresentation;
+    use mds_graphs::generators;
+
+    #[test]
+    fn coloring_of_bipartite_representation_is_proper_and_small() {
+        let g = generators::gnp(60, 0.1, 4);
+        let rep = BipartiteRepresentation::from_graph(&g);
+        let targets: Vec<usize> = (0..g.n()).collect();
+        let coloring = bipartite_distance_two_coloring(rep.graph(), &targets, g.n());
+        verify_bipartite_coloring(rep.graph(), &coloring, &targets).unwrap();
+        let bound = rep.graph().max_left_degree() * rep.graph().max_right_degree();
+        assert!(coloring.num_colors <= bound, "{} colors > Δ_L·Δ_R = {bound}", coloring.num_colors);
+        assert!(coloring.ledger.total_formula_rounds() > 0);
+    }
+
+    #[test]
+    fn partial_targets_leave_other_nodes_uncolored() {
+        let g = generators::path(6);
+        let rep = BipartiteRepresentation::from_graph(&g);
+        let targets = vec![0, 2, 4];
+        let coloring = bipartite_distance_two_coloring(rep.graph(), &targets, g.n());
+        verify_bipartite_coloring(rep.graph(), &coloring, &targets).unwrap();
+        assert_eq!(coloring.colors[1], usize::MAX);
+        let classes = coloring.classes();
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn star_center_conflicts_force_many_colors() {
+        // In the bipartite representation of a star, all value copies share
+        // the center's constraint, so they all need distinct colors.
+        let g = generators::star(12);
+        let rep = BipartiteRepresentation::from_graph(&g);
+        let targets: Vec<usize> = (0..g.n()).collect();
+        let coloring = bipartite_distance_two_coloring(rep.graph(), &targets, g.n());
+        assert_eq!(coloring.num_colors, 12);
+        verify_bipartite_coloring(rep.graph(), &coloring, &targets).unwrap();
+    }
+
+    #[test]
+    fn graph_distance_two_coloring_is_proper_on_g_squared() {
+        let g = generators::gnp(50, 0.08, 7);
+        let colors = graph_distance_two_coloring(&g);
+        let g2 = mds_graphs::square::square(&g);
+        for (u, v) in g2.edges() {
+            assert_ne!(colors[u.0], colors[v.0], "distance-2 neighbors {u},{v} share a color");
+        }
+        let delta2 = g2.max_degree();
+        let used = colors.iter().max().unwrap() + 1;
+        assert!(used <= delta2 + 1);
+    }
+
+    #[test]
+    fn cycle_distance_two_coloring_uses_few_colors() {
+        let g = generators::cycle(30);
+        let colors = graph_distance_two_coloring(&g);
+        let used = colors.iter().max().unwrap() + 1;
+        assert!(used <= 5);
+    }
+
+    #[test]
+    fn verifier_detects_conflicts() {
+        let g = generators::star(4);
+        let rep = BipartiteRepresentation::from_graph(&g);
+        let targets: Vec<usize> = (0..4).collect();
+        let mut coloring = bipartite_distance_two_coloring(rep.graph(), &targets, 4);
+        // Corrupt: give two conflicting nodes the same color.
+        coloring.colors[1] = coloring.colors[2];
+        assert!(verify_bipartite_coloring(rep.graph(), &coloring, &targets).is_err());
+    }
+}

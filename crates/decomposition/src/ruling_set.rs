@@ -1,0 +1,192 @@
+//! Deterministic ruling sets.
+//!
+//! An `(α, β)`-ruling set of a candidate set `S ⊆ V` is a subset `S' ⊆ S` such
+//! that any two selected nodes are at `G`-distance at least `α` and every
+//! candidate has a selected node within distance `β`. Section 4 of the paper
+//! uses the CONGEST ruling-set algorithm of [ALGP89, HKN16] with
+//! `α = Θ(log² n)` to shrink the dominating set `S` to `|S|/Θ(log² n)` cluster
+//! centers. The identifier-ordered greedy used here produces an
+//! `(α, α-1)`-ruling set deterministically; the round cost charged to the
+//! ledger is the paper's `O(log³ n)` bound.
+
+use congest_sim::ledger::formulas;
+use congest_sim::{Graph, NodeId, RoundLedger};
+use std::collections::VecDeque;
+
+/// Result of a ruling-set computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RulingSet {
+    /// The selected nodes, in increasing identifier order.
+    pub selected: Vec<NodeId>,
+    /// The separation parameter α the set was built for.
+    pub alpha: usize,
+    /// Round accounting.
+    pub ledger: RoundLedger,
+}
+
+/// Computes an `(alpha, alpha-1)`-ruling set of `candidates` in `graph` by
+/// identifier-ordered greedy selection.
+///
+/// # Panics
+///
+/// Panics if `alpha == 0`.
+pub fn ruling_set(graph: &Graph, candidates: &[NodeId], alpha: usize) -> RulingSet {
+    assert!(alpha >= 1, "alpha must be at least 1");
+    let mut is_candidate = vec![false; graph.n()];
+    for &v in candidates {
+        is_candidate[v.0] = true;
+    }
+    let mut blocked = vec![false; graph.n()];
+    let mut selected = Vec::new();
+    let mut order: Vec<NodeId> = candidates.to_vec();
+    order.sort_unstable();
+    order.dedup();
+    for &v in &order {
+        if blocked[v.0] {
+            continue;
+        }
+        selected.push(v);
+        // Block every node within distance alpha - 1 of v.
+        let mut dist = vec![usize::MAX; graph.n()];
+        let mut queue = VecDeque::new();
+        dist[v.0] = 0;
+        blocked[v.0] = true;
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            if dist[u.0] + 1 >= alpha {
+                continue;
+            }
+            for &w in graph.neighbors(u) {
+                if dist[w.0] == usize::MAX {
+                    dist[w.0] = dist[u.0] + 1;
+                    blocked[w.0] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let mut ledger = RoundLedger::new();
+    ledger.charge_with_formula(
+        "ruling set (greedy vs HKN16)",
+        selected.len() as u64 * alpha as u64,
+        formulas::cds_clustering_rounds(graph.n()),
+        candidates.len() as u64,
+    );
+    RulingSet { selected, alpha, ledger }
+}
+
+/// Verifies the ruling-set properties: selected nodes are candidates, pairwise
+/// at distance `≥ alpha`, and every candidate is within `alpha - 1` of a
+/// selected node *within its connected component* (candidates in components
+/// with no selected node would violate domination, which cannot happen for
+/// the greedy).
+pub fn verify_ruling_set(
+    graph: &Graph,
+    candidates: &[NodeId],
+    rs: &RulingSet,
+) -> Result<(), String> {
+    let mut is_candidate = vec![false; graph.n()];
+    for &v in candidates {
+        is_candidate[v.0] = true;
+    }
+    for &v in &rs.selected {
+        if !is_candidate[v.0] {
+            return Err(format!("selected node {v} is not a candidate"));
+        }
+    }
+    // Pairwise separation.
+    for &v in &rs.selected {
+        let dist = mds_graphs::analysis::bounded_bfs(graph, v, rs.alpha - 1);
+        for &u in &rs.selected {
+            if u != v && dist[u.0] != usize::MAX {
+                return Err(format!("selected nodes {v} and {u} are at distance < {}", rs.alpha));
+            }
+        }
+    }
+    // Coverage.
+    let mut covered = vec![false; graph.n()];
+    for &v in &rs.selected {
+        let dist = mds_graphs::analysis::bounded_bfs(graph, v, rs.alpha - 1);
+        for (u, &d) in dist.iter().enumerate() {
+            if d != usize::MAX {
+                covered[u] = true;
+            }
+        }
+    }
+    for &v in candidates {
+        if !covered[v.0] {
+            return Err(format!("candidate {v} has no ruling node within {}", rs.alpha - 1));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_graphs::generators;
+
+    #[test]
+    fn ruling_set_on_a_path_is_every_alpha_th_node() {
+        let g = generators::path(20);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let rs = ruling_set(&g, &candidates, 3);
+        verify_ruling_set(&g, &candidates, &rs).unwrap();
+        assert_eq!(rs.selected, vec![NodeId(0), NodeId(3), NodeId(6), NodeId(9), NodeId(12), NodeId(15), NodeId(18)]);
+    }
+
+    #[test]
+    fn ruling_set_of_subset_candidates() {
+        let g = generators::cycle(30);
+        let candidates: Vec<NodeId> = (0..30).step_by(2).map(NodeId).collect();
+        let rs = ruling_set(&g, &candidates, 4);
+        verify_ruling_set(&g, &candidates, &rs).unwrap();
+        assert!(!rs.selected.is_empty());
+        assert!(rs.selected.len() <= candidates.len());
+    }
+
+    #[test]
+    fn alpha_one_selects_all_candidates() {
+        let g = generators::gnp(30, 0.2, 1);
+        let candidates: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let rs = ruling_set(&g, &candidates, 1);
+        assert_eq!(rs.selected.len(), 10);
+        verify_ruling_set(&g, &candidates, &rs).unwrap();
+    }
+
+    #[test]
+    fn large_alpha_selects_one_per_component() {
+        let g = generators::complete(10);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let rs = ruling_set(&g, &candidates, 5);
+        assert_eq!(rs.selected.len(), 1);
+        verify_ruling_set(&g, &candidates, &rs).unwrap();
+    }
+
+    #[test]
+    fn random_graph_ruling_sets_verify() {
+        for seed in 0..3 {
+            let g = generators::gnp(60, 0.07, seed);
+            let candidates: Vec<NodeId> = g.nodes().filter(|v| v.0 % 3 != 0).collect();
+            for alpha in [2usize, 3, 5] {
+                let rs = ruling_set(&g, &candidates, alpha);
+                verify_ruling_set(&g, &candidates, &rs).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidate_set_gives_empty_ruling_set() {
+        let g = generators::path(5);
+        let rs = ruling_set(&g, &[], 3);
+        assert!(rs.selected.is_empty());
+        verify_ruling_set(&g, &[], &rs).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be at least 1")]
+    fn zero_alpha_panics() {
+        let g = generators::path(3);
+        let _ = ruling_set(&g, &[NodeId(0)], 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Structural graph analysis: BFS, connectivity, distances, diameter and
+//! degree statistics.
+
+use congest_sim::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Result of a connected-components computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `component[v]` is the component index of node `v`.
+    pub component: Vec<usize>,
+    /// Number of components.
+    pub count: usize,
+    /// Sizes of the components, indexed by component index.
+    pub sizes: Vec<usize>,
+}
+
+/// Breadth-first distances from `source`; unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.n()];
+    let mut queue = VecDeque::new();
+    dist[source.0] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if dist[v.0] == usize::MAX {
+                dist[v.0] = dist[u.0] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances restricted to hops of at most `limit`; nodes further away get
+/// `usize::MAX`. Used by the `G_S` construction of Section 4 (paths of length
+/// at most 3).
+pub fn bounded_bfs(graph: &Graph, source: NodeId, limit: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.n()];
+    let mut queue = VecDeque::new();
+    dist[source.0] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        if dist[u.0] == limit {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            if dist[v.0] == usize::MAX {
+                dist[v.0] = dist[u.0] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Computes connected components via repeated BFS.
+pub fn connected_components(graph: &Graph) -> Components {
+    let n = graph.n();
+    let mut component = vec![usize::MAX; n];
+    let mut sizes = Vec::new();
+    let mut count = 0;
+    for s in 0..n {
+        if component[s] != usize::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        let mut queue = VecDeque::new();
+        component[s] = count;
+        queue.push_back(NodeId(s));
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in graph.neighbors(u) {
+                if component[v.0] == usize::MAX {
+                    component[v.0] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+        count += 1;
+    }
+    Components { component, count, sizes }
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.n() == 0 || connected_components(graph).count == 1
+}
+
+/// Exact diameter by running BFS from every node. `None` for disconnected or
+/// empty graphs. Intended for the small/medium instances used in experiments.
+pub fn diameter(graph: &Graph) -> Option<usize> {
+    if graph.n() == 0 || !is_connected(graph) {
+        return None;
+    }
+    let mut best = 0;
+    for s in graph.nodes() {
+        let d = bfs_distances(graph, s);
+        let ecc = *d.iter().max().expect("nonempty");
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+/// Shortest-path distance between two nodes; `None` if unreachable.
+pub fn distance(graph: &Graph, u: NodeId, v: NodeId) -> Option<usize> {
+    let d = bfs_distances(graph, u)[v.0];
+    if d == usize::MAX {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree `Δ`.
+    pub max: usize,
+    /// Average degree.
+    pub mean: f64,
+    /// Histogram: `histogram[d]` is the number of nodes with degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.n();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, histogram: vec![] };
+    }
+    let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+    let max = *degrees.iter().max().expect("nonempty");
+    let min = *degrees.iter().min().expect("nonempty");
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degrees {
+        histogram[d] += 1;
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+        histogram,
+    }
+}
+
+/// Builds the subgraph induced by `keep` (nodes are re-labelled `0..keep.len()`
+/// in the order given) and returns it together with the mapping from new
+/// indices back to the original [`NodeId`]s.
+pub fn induced_subgraph(graph: &Graph, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut index_of = vec![usize::MAX; graph.n()];
+    for (i, &v) in keep.iter().enumerate() {
+        index_of[v.0] = i;
+    }
+    let mut builder = congest_sim::GraphBuilder::new(keep.len());
+    for (i, &v) in keep.iter().enumerate() {
+        for &u in graph.neighbors(v) {
+            let j = index_of[u.0];
+            if j != usize::MAX && i < j {
+                builder.add_edge(i, j).expect("in-range");
+            }
+        }
+    }
+    (builder.build(), keep.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(distance(&g, NodeId(0), NodeId(4)), Some(4));
+    }
+
+    #[test]
+    fn bounded_bfs_stops_at_limit() {
+        let g = generators::path(6);
+        let d = bounded_bfs(&g, NodeId(0), 2);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = congest_sim::Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 6);
+        assert!(!is_connected(&g));
+        assert_eq!(distance(&g, NodeId(0), NodeId(5)), None);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&generators::path(7)), Some(6));
+        assert_eq!(diameter(&generators::cycle(8)), Some(4));
+        assert_eq!(diameter(&generators::complete(5)), Some(1));
+        assert_eq!(diameter(&generators::star(9)), Some(2));
+    }
+
+    #[test]
+    fn degree_stats_of_star() {
+        let g = generators::star(6);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.histogram[1], 5);
+        assert_eq!(s.histogram[5], 1);
+        assert!((s.mean - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_of_empty_graph() {
+        let s = degree_stats(&congest_sim::Graph::empty(0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.histogram.len(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = generators::cycle(6);
+        let (sub, map) = induced_subgraph(&g, &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 1); // only the edge 0-1 survives
+        assert_eq!(map[0], NodeId(0));
+        assert_eq!(map[2], NodeId(3));
+    }
+
+    #[test]
+    fn empty_graph_is_connected_by_convention() {
+        assert!(is_connected(&congest_sim::Graph::empty(0)));
+        assert!(is_connected(&congest_sim::Graph::empty(1)));
+        assert!(!is_connected(&congest_sim::Graph::empty(2)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text edge-list serialization.
+//!
+//! The format is one edge per line, `u v`, with `#`-prefixed comment lines and
+//! an optional header line `n <count>` that fixes the number of nodes (needed
+//! to represent isolated nodes). This is sufficient for exchanging the
+//! experiment workloads with external tools.
+
+use congest_sim::{Graph, GraphBuilder};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an edge list fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseGraphError {
+    /// A line could not be parsed as `u v` or a header.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// An edge referenced a node outside the declared range.
+    InvalidEdge {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::MalformedLine { line, content } => {
+                write!(f, "malformed line {line}: {content:?}")
+            }
+            ParseGraphError::InvalidEdge { line, reason } => {
+                write!(f, "invalid edge on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ParseGraphError {}
+
+/// Serializes a graph to the edge-list format.
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# congest-mds edge list\nn {}\n", graph.n()));
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("{} {}\n", u.0, v.0));
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines or out-of-range edges. When
+/// no `n` header is present, the node count is inferred as the largest
+/// endpoint plus one.
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (u, v, line)
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().unwrap_or_default();
+        if first == "n" {
+            let count = parts
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| ParseGraphError::MalformedLine {
+                    line: line_no,
+                    content: raw.to_owned(),
+                })?;
+            declared_n = Some(count);
+            continue;
+        }
+        let u = first.parse::<usize>().map_err(|_| ParseGraphError::MalformedLine {
+            line: line_no,
+            content: raw.to_owned(),
+        })?;
+        let v = parts
+            .next()
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or_else(|| ParseGraphError::MalformedLine {
+                line: line_no,
+                content: raw.to_owned(),
+            })?;
+        edges.push((u, v, line_no));
+    }
+    let n = declared_n
+        .unwrap_or_else(|| edges.iter().map(|&(u, v, _)| u.max(v) + 1).max().unwrap_or(0));
+    let mut builder = GraphBuilder::new(n);
+    for (u, v, line) in edges {
+        builder
+            .add_edge(u, v)
+            .map_err(|e| ParseGraphError::InvalidEdge { line, reason: e.to_string() })?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = generators::generate(&crate::GraphFamily::Gnp { n: 30, p: 0.2 }, 5);
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn header_preserves_isolated_nodes() {
+        let g = congest_sim::Graph::from_edges(5, &[(0, 1)]).unwrap();
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back.n(), 5);
+        assert_eq!(back.m(), 1);
+    }
+
+    #[test]
+    fn missing_header_infers_node_count() {
+        let g = from_edge_list("0 1\n2 3\n").unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = from_edge_list("# hi\n\nn 3\n0 2\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        let err = from_edge_list("0 x\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::MalformedLine { line: 1, .. }));
+        let err = from_edge_list("n\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::MalformedLine { .. }));
+    }
+
+    #[test]
+    fn out_of_range_edge_reported() {
+        let err = from_edge_list("n 2\n0 5\n").unwrap_err();
+        assert!(matches!(err, ParseGraphError::InvalidEdge { line: 2, .. }));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = from_edge_list("").unwrap();
+        assert_eq!(g.n(), 0);
+    }
+}

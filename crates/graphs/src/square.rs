@@ -1,0 +1,118 @@
+//! Power graphs `G^k`.
+//!
+//! Several components of the paper operate on the square `G^2` of the input
+//! graph: the network decomposition of Lemma 3.4 is a *2-hop* decomposition
+//! (clusters of the same color are at distance `> 2` in `G`), and distance-two
+//! colorings are ordinary colorings of `G^2`.
+
+use congest_sim::{Graph, GraphBuilder, NodeId};
+use std::collections::VecDeque;
+
+/// Builds the `k`-th power of `graph`: nodes are the same and `{u, v}` is an
+/// edge whenever `1 <= dist_G(u, v) <= k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn power_graph(graph: &Graph, k: usize) -> Graph {
+    assert!(k >= 1, "k must be at least 1");
+    if k == 1 {
+        return graph.clone();
+    }
+    let n = graph.n();
+    let mut builder = GraphBuilder::new(n);
+    let mut dist = vec![usize::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for s in 0..n {
+        // Bounded BFS from s up to depth k.
+        dist[s] = 0;
+        touched.push(s);
+        let mut queue = VecDeque::new();
+        queue.push_back(NodeId(s));
+        while let Some(u) = queue.pop_front() {
+            if dist[u.0] == k {
+                continue;
+            }
+            for &v in graph.neighbors(u) {
+                if dist[v.0] == usize::MAX {
+                    dist[v.0] = dist[u.0] + 1;
+                    touched.push(v.0);
+                    queue.push_back(v);
+                }
+            }
+        }
+        for &v in &touched {
+            if v > s && dist[v] != usize::MAX {
+                builder.add_edge(s, v).expect("in-range");
+            }
+        }
+        for &v in &touched {
+            dist[v] = usize::MAX;
+        }
+        touched.clear();
+    }
+    builder.build()
+}
+
+/// Convenience wrapper for the square `G^2`.
+pub fn square(graph: &Graph) -> Graph {
+    power_graph(graph, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn square_of_path_connects_distance_two() {
+        let g = generators::path(5);
+        let g2 = square(&g);
+        assert!(g2.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g2.has_edge(NodeId(0), NodeId(3)));
+        assert_eq!(g2.m(), 4 + 3);
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = generators::cycle(7);
+        assert_eq!(power_graph(&g, 1), g);
+    }
+
+    #[test]
+    fn cube_of_path_connects_distance_three() {
+        let g = generators::path(6);
+        let g3 = power_graph(&g, 3);
+        assert!(g3.has_edge(NodeId(0), NodeId(3)));
+        assert!(!g3.has_edge(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn high_power_of_connected_graph_is_complete() {
+        let g = generators::cycle(6);
+        let gk = power_graph(&g, 6);
+        assert_eq!(gk.m(), 6 * 5 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_power_panics() {
+        let g = generators::path(3);
+        let _ = power_graph(&g, 0);
+    }
+
+    #[test]
+    fn square_respects_true_distances() {
+        let g = generators::generate(&crate::GraphFamily::Gnp { n: 60, p: 0.05 }, 9);
+        let g2 = square(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u < v {
+                    let d = crate::analysis::distance(&g, u, v);
+                    let expected = matches!(d, Some(1) | Some(2));
+                    assert_eq!(g2.has_edge(u, v), expected, "u={u} v={v} d={d:?}");
+                }
+            }
+        }
+    }
+}

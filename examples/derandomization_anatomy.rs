@@ -1,0 +1,73 @@
+//! Anatomy of the derandomization: watch the method of conditional
+//! expectations beat the randomized rounding it derandomizes.
+//!
+//! The example builds the one-shot rounding problem of Lemma 3.8 on a random
+//! graph, runs it (a) with truly random coins, (b) with k-wise independent
+//! coins derived from a short seed (Lemma 3.3), and (c) deterministically via
+//! conditional expectations (Lemma 3.10), and prints the resulting set sizes
+//! next to the expectation bound `ln Δ̃ · A + Σ Pr(E_v)` from Lemma 3.1.
+//!
+//! Run with `cargo run --example derandomization_anatomy`.
+
+use congest_mds::fractional::lemma21::{initial_fractional_solution, InitialSolutionConfig};
+use congest_mds::graphs::generators;
+use congest_mds::mds::verify::is_dominating_set;
+use congest_mds::rounding::derandomize::{derandomize, DerandomizeConfig};
+use congest_mds::rounding::kwise::KWiseGenerator;
+use congest_mds::rounding::one_shot::OneShotRounding;
+use congest_mds::rounding::process::{execute_with_kwise, execute_with_rng};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let graph = generators::gnp(120, 0.07, 11);
+    println!("graph: n = {}, m = {}, Δ = {}", graph.n(), graph.m(), graph.max_degree());
+
+    // Part I: the (1+ε)-approximate fractional dominating set of Lemma 2.1.
+    let initial = initial_fractional_solution(&graph, &InitialSolutionConfig::default());
+    println!(
+        "fractional input: size = {:.3} (LP lower bound {:.3}), fractionality = {:.4}",
+        initial.assignment.size(),
+        initial.lp_lower_bound,
+        initial.assignment.fractionality()
+    );
+
+    // The one-shot rounding problem (Lemma 3.8).
+    let problem = OneShotRounding::on_graph(&graph, &initial.assignment).into_problem();
+
+    // (a) Truly random coins, averaged over many runs.
+    let mut rng = StdRng::seed_from_u64(1);
+    let trials = 200;
+    let mut sizes = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let out = execute_with_rng(&problem, &mut rng);
+        assert!(is_dominating_set(&graph, &out.output.selected_nodes()));
+        sizes.push(out.output.size());
+    }
+    let mean: f64 = sizes.iter().sum::<f64>() / trials as f64;
+    let worst = sizes.iter().cloned().fold(0.0f64, f64::max);
+
+    // (b) k-wise independent coins from a 61·k-bit seed (Lemma 3.3).
+    let mut seed_rng = StdRng::seed_from_u64(2);
+    let mut kwise_sizes = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let generator = KWiseGenerator::from_rng(16, &mut seed_rng);
+        kwise_sizes.push(execute_with_kwise(&problem, &generator).output.size());
+    }
+    let kwise_mean: f64 = kwise_sizes.iter().sum::<f64>() / trials as f64;
+
+    // (c) The deterministic choice (Lemma 3.10 / Lemma 3.4 core).
+    let det = derandomize(&problem, &DerandomizeConfig::default());
+    assert!(is_dominating_set(&graph, &det.output.selected_nodes()));
+
+    println!("\nexpectation bound (Lemma 3.1):        {:.2}", det.initial_estimate);
+    println!("randomized one-shot, mean of {trials}:    {mean:.2} (worst {worst:.0})");
+    println!("k-wise independent coins, mean:       {kwise_mean:.2}");
+    println!("derandomized (cond. expectations):    {:.0}", det.output.size());
+    println!(
+        "\nThe deterministic run never exceeds the expectation bound ({:.2} ≤ {:.2}),",
+        det.output.size(),
+        det.initial_estimate
+    );
+    println!("which is exactly the guarantee the paper's Lemmas 3.4 and 3.10 formalise.");
+}

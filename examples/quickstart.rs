@@ -1,0 +1,75 @@
+//! Quickstart: compute a deterministic dominating set approximation on a
+//! random graph and inspect every quality and cost metric the library reports.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use congest_mds::cds::build::{connect_dominating_set, CdsConfig};
+use congest_mds::cds::verify::is_connected_dominating_set;
+use congest_mds::graphs::generators::{self, GraphFamily};
+use congest_mds::mds::pipeline::{theorem_1_1, theorem_1_2, MdsConfig};
+use congest_mds::mds::{exact, greedy, verify};
+
+fn main() {
+    // A small Erdős–Rényi network so the exact optimum is still computable.
+    let family = GraphFamily::Gnp { n: 60, p: 0.1 };
+    let graph = generators::generate(&family, 42);
+    println!("graph: {} ({} nodes, {} edges, Δ = {})", family.label(), graph.n(), graph.m(), graph.max_degree());
+
+    // Baselines.
+    let greedy = greedy::greedy_mds(&graph);
+    println!("greedy (sequential, ln Δ̃ approx):    {}", greedy.size());
+    let optimum = exact::exact_mds(&graph, 64).map(|r| r.size());
+    if let Some(opt) = optimum {
+        println!("exact optimum (branch & bound):      {opt}");
+    }
+
+    // Theorem 1.1: the network-decomposition route.
+    let config = MdsConfig::default();
+    let t11 = theorem_1_1(&graph, &config);
+    assert!(verify::is_dominating_set(&graph, &t11.dominating_set));
+    println!(
+        "Theorem 1.1 (network decomposition): {}   rounds(sim)={} rounds(paper)={}",
+        t11.size(),
+        t11.ledger.total_simulated_rounds(),
+        t11.ledger.total_formula_rounds()
+    );
+
+    // Theorem 1.2: the coloring route.
+    let t12 = theorem_1_2(&graph, &config);
+    println!(
+        "Theorem 1.2 (distance-2 coloring):   {}   rounds(sim)={} rounds(paper)={}",
+        t12.size(),
+        t12.ledger.total_simulated_rounds(),
+        t12.ledger.total_formula_rounds()
+    );
+
+    // The approximation guarantee of the paper and the measured ratio.
+    if let Some(opt) = optimum {
+        let guarantee = t11.guarantee(&graph);
+        println!(
+            "guarantee (1+ε)(1+ln(Δ+1)) = {guarantee:.2}; measured ratios: T1.1 = {:.2}, T1.2 = {:.2}, greedy = {:.2}",
+            t11.size() as f64 / opt as f64,
+            t12.size() as f64 / opt as f64,
+            greedy.size() as f64 / opt as f64,
+        );
+    }
+
+    // Theorem 1.4: connect the dominating set.
+    let cds = connect_dominating_set(&graph, &t11.dominating_set, &CdsConfig::default());
+    if congest_mds::graphs::analysis::is_connected(&graph) {
+        assert!(is_connected_dominating_set(&graph, &cds.cds));
+    }
+    println!(
+        "Theorem 1.4 (connected dominating set): {} nodes (overhead ×{:.2}, {} clusters, {} spanner edges)",
+        cds.size(),
+        cds.overhead(),
+        cds.num_clusters,
+        cds.spanner_edges
+    );
+
+    // Per-stage trajectory of the pipeline (experiment E5 in miniature).
+    println!("\npipeline trajectory (Theorem 1.1):");
+    for stage in &t11.stages {
+        println!("  {:<40} size = {:>8.3}   fractionality = {:.4}", stage.name, stage.size, stage.fractionality);
+    }
+}

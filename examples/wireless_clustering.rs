@@ -1,0 +1,64 @@
+//! Wireless ad-hoc network clustering — the application that motivates the
+//! paper's introduction. Sensor nodes scattered in the plane communicate with
+//! everything within radio range (a unit-disk graph); a *connected dominating
+//! set* is the classic virtual backbone: every sensor is adjacent to the
+//! backbone and the backbone routes messages between any two sensors.
+//!
+//! The example compares the deterministic CONGEST backbone (Theorem 1.1 +
+//! Theorem 1.4) against the greedy baseline across network densities.
+//!
+//! Run with `cargo run --example wireless_clustering`.
+
+use congest_mds::cds::build::{connect_dominating_set, theorem_1_4, CdsConfig};
+use congest_mds::cds::verify::is_connected_dominating_set;
+use congest_mds::graphs::analysis;
+use congest_mds::graphs::generators::{self, GraphFamily};
+use congest_mds::mds::greedy;
+use congest_mds::mds::pipeline::MdsConfig;
+
+fn main() {
+    println!("radius   n    edges  Δ    greedy→CDS   Thm1.1→CDS   backbone-ok  rounds(paper)");
+    for &radius in &[0.18, 0.22, 0.28, 0.35] {
+        let family = GraphFamily::UnitDisk { n: 150, radius };
+        // Retry seeds until the deployment is connected (sparse radii can
+        // disconnect the network).
+        let mut graph = None;
+        for seed in 0..20u64 {
+            let g = generators::generate(&family, seed);
+            if analysis::is_connected(&g) {
+                graph = Some(g);
+                break;
+            }
+        }
+        let Some(graph) = graph else {
+            println!("{radius:<7} (no connected deployment found, skipping)");
+            continue;
+        };
+
+        // Greedy baseline + connection.
+        let greedy_ds = greedy::greedy_mds(&graph).set;
+        let greedy_cds = connect_dominating_set(&graph, &greedy_ds, &CdsConfig::default());
+
+        // Deterministic CONGEST pipeline + connection (Theorem 1.4).
+        let (mds, cds) = theorem_1_4(&graph, &MdsConfig::default(), &CdsConfig::default());
+
+        let ok = is_connected_dominating_set(&graph, &cds.cds)
+            && is_connected_dominating_set(&graph, &greedy_cds.cds);
+        println!(
+            "{:<7} {:<4} {:<6} {:<4} {:>4}→{:<6} {:>4}→{:<6} {:<12} {}",
+            radius,
+            graph.n(),
+            graph.m(),
+            graph.max_degree(),
+            greedy_ds.len(),
+            greedy_cds.size(),
+            mds.size(),
+            cds.size(),
+            ok,
+            cds.ledger.total_formula_rounds(),
+        );
+    }
+    println!("\nThe backbone (CDS) stays within a small constant factor of the plain");
+    println!("dominating set, exactly as Theorem 1.4 promises, while every decision is");
+    println!("made deterministically with O(log n)-bit messages.");
+}

@@ -1,0 +1,141 @@
+//! Workspace-level integration tests: the full deterministic pipeline, the
+//! baselines and the CDS extension, exercised together across graph families.
+
+use congest_mds::cds::build::{connect_dominating_set, CdsConfig};
+use congest_mds::cds::verify::is_connected_dominating_set;
+use congest_mds::graphs::analysis;
+use congest_mds::graphs::generators::{self, GraphFamily};
+use congest_mds::mds::pipeline::{theorem_1_1, theorem_1_2, DerandRoute, MdsConfig};
+use congest_mds::mds::{exact, greedy, verify};
+
+fn quick_config() -> MdsConfig {
+    MdsConfig {
+        fractional: congest_mds::fractional::lemma21::FractionalMethod::Mwu(
+            congest_mds::fractional::lp::LpConfig {
+                epsilon: 0.2,
+                iterations: Some(60),
+                binary_search_steps: 10,
+            },
+        ),
+        ..MdsConfig::default()
+    }
+}
+
+fn families() -> Vec<GraphFamily> {
+    vec![
+        GraphFamily::Gnp { n: 60, p: 0.08 },
+        GraphFamily::Grid { rows: 7, cols: 8 },
+        GraphFamily::RandomTree { n: 50 },
+        GraphFamily::Caterpillar { spine: 8, legs: 4 },
+        GraphFamily::UnitDisk { n: 60, radius: 0.25 },
+        GraphFamily::BarabasiAlbert { n: 60, m: 2 },
+        GraphFamily::Star { n: 40 },
+        GraphFamily::Cycle { n: 45 },
+    ]
+}
+
+#[test]
+fn both_theorems_dominate_every_family() {
+    let config = quick_config();
+    for family in families() {
+        let graph = generators::generate(&family, 7);
+        for result in [theorem_1_1(&graph, &config), theorem_1_2(&graph, &config)] {
+            assert!(
+                verify::is_dominating_set(&graph, &result.dominating_set),
+                "family {} produced a non-dominating set",
+                family.label()
+            );
+            assert!(result.assignment.is_integral());
+        }
+    }
+}
+
+#[test]
+fn approximation_guarantee_vs_exact_optimum() {
+    let config = quick_config();
+    for family in [
+        GraphFamily::Gnp { n: 32, p: 0.15 },
+        GraphFamily::Grid { rows: 5, cols: 6 },
+        GraphFamily::Cycle { n: 30 },
+        GraphFamily::Caterpillar { spine: 6, legs: 3 },
+    ] {
+        let graph = generators::generate(&family, 3);
+        let opt = exact::exact_mds(&graph, 64).expect("small instance").size() as f64;
+        for (name, result) in [
+            ("Theorem 1.1", theorem_1_1(&graph, &config)),
+            ("Theorem 1.2", theorem_1_2(&graph, &config)),
+        ] {
+            let ratio = result.size() as f64 / opt;
+            assert!(
+                ratio <= result.guarantee(&graph) + 1e-9,
+                "{name} on {}: ratio {ratio:.2} exceeds guarantee {:.2}",
+                family.label(),
+                result.guarantee(&graph)
+            );
+        }
+        // Greedy respects its own guarantee too.
+        let greedy_ratio = greedy::greedy_mds(&graph).size() as f64 / opt;
+        assert!(greedy_ratio <= 1.0 + (graph.delta_tilde() as f64).ln() + 1e-9);
+    }
+}
+
+#[test]
+fn deterministic_results_are_reproducible() {
+    let config = quick_config();
+    let graph = generators::generate(&GraphFamily::Gnp { n: 50, p: 0.1 }, 9);
+    let a = theorem_1_1(&graph, &config);
+    let b = theorem_1_1(&graph, &config);
+    assert_eq!(a.dominating_set, b.dominating_set);
+    assert_eq!(a.ledger.total_formula_rounds(), b.ledger.total_formula_rounds());
+    let c = theorem_1_2(&graph, &config);
+    let d = theorem_1_2(&graph, &config);
+    assert_eq!(c.dominating_set, d.dominating_set);
+}
+
+#[test]
+fn cds_extension_preserves_domination_and_connectivity() {
+    let config = quick_config();
+    for family in [
+        GraphFamily::Gnp { n: 60, p: 0.1 },
+        GraphFamily::Grid { rows: 8, cols: 8 },
+        GraphFamily::UnitDisk { n: 70, radius: 0.3 },
+    ] {
+        let graph = generators::generate(&family, 5);
+        if !analysis::is_connected(&graph) {
+            continue;
+        }
+        let mds = theorem_1_1(&graph, &config);
+        let cds = connect_dominating_set(&graph, &mds.dominating_set, &CdsConfig::default());
+        assert!(
+            is_connected_dominating_set(&graph, &cds.cds),
+            "family {}: CDS invalid",
+            family.label()
+        );
+        assert!(cds.overhead() <= 5.0, "family {}: overhead {}", family.label(), cds.overhead());
+    }
+}
+
+#[test]
+fn ledger_reports_sane_round_counts() {
+    let config = quick_config();
+    let graph = generators::generate(&GraphFamily::Gnp { n: 80, p: 0.06 }, 2);
+    let t11 = theorem_1_1(&graph, &config);
+    let t12 = theorem_1_2(&graph, &config);
+    // Both routes must record non-trivial work in both accounting views.
+    for result in [&t11, &t12] {
+        assert!(result.ledger.total_simulated_rounds() > 0);
+        assert!(result.ledger.total_formula_rounds() > 0);
+        assert!(result.ledger.total_messages() > 0);
+        assert!(!result.ledger.phases().is_empty());
+    }
+}
+
+#[test]
+fn explicit_route_selection_matches_wrappers() {
+    let graph = generators::generate(&GraphFamily::Gnp { n: 40, p: 0.12 }, 4);
+    let mut config = quick_config();
+    config.route = DerandRoute::Coloring;
+    let direct = congest_mds::mds::pipeline::run(&graph, &config);
+    let wrapper = theorem_1_2(&graph, &config);
+    assert_eq!(direct.dominating_set, wrapper.dominating_set);
+}

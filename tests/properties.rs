@@ -1,0 +1,136 @@
+//! Property-based integration tests (proptest): invariants of the core data
+//! structures and algorithms over randomly generated graphs and assignments.
+
+use congest_mds::congest::{Graph, NodeId};
+use congest_mds::decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
+use congest_mds::decomposition::spanner::{derandomized_spanner, verify_spanner};
+use congest_mds::fractional::lp;
+use congest_mds::fractional::FractionalAssignment;
+use congest_mds::graphs::{analysis, generators, square};
+use congest_mds::mds::{exact, greedy, verify};
+use congest_mds::rounding::derandomize::{derandomize, DerandomizeConfig};
+use congest_mds::rounding::kwise::KWiseGenerator;
+use congest_mds::rounding::one_shot::OneShotRounding;
+use proptest::prelude::*;
+
+/// Strategy: a random graph described by (n, edge probability numerator, seed).
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..60, 1u32..30, 0u64..1000).prop_map(|(n, p_num, seed)| {
+        generators::gnp(n, p_num as f64 / 100.0, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn greedy_always_dominates_and_beats_nothing_smaller_than_lp(graph in graph_strategy()) {
+        let result = greedy::greedy_mds(&graph);
+        prop_assert!(verify::is_dominating_set(&graph, &result.set));
+        let lb = lp::dual_lower_bound(&graph);
+        prop_assert!(result.size() as f64 >= lb - 1e-9);
+    }
+
+    #[test]
+    fn degree_heuristic_is_feasible_and_dominated_by_n(graph in graph_strategy()) {
+        let x = lp::degree_heuristic(&graph);
+        prop_assert!(x.is_feasible_dominating_set(&graph));
+        prop_assert!(x.size() <= graph.n() as f64 + 1e-9);
+        prop_assert!(x.fractionality() >= 1.0 / graph.delta_tilde() as f64 - 1e-12);
+    }
+
+    #[test]
+    fn one_shot_derandomization_dominates_and_respects_its_bound(graph in graph_strategy()) {
+        let x = lp::degree_heuristic(&graph);
+        let problem = OneShotRounding::on_graph(&graph, &x).into_problem();
+        let out = derandomize(&problem, &DerandomizeConfig::default());
+        prop_assert!(out.output.is_integral());
+        prop_assert!(out.output.is_feasible_dominating_set(&graph));
+        prop_assert!(out.output.size() <= out.initial_estimate + 1e-6);
+    }
+
+    #[test]
+    fn network_decomposition_is_always_valid(graph in graph_strategy()) {
+        let nd = strong_diameter_decomposition(&graph, 2, &DecompositionConfig::default());
+        prop_assert!(nd.verify(&graph).is_ok());
+        // Every node belongs to exactly one cluster.
+        let total: usize = nd.clusters.clusters.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, graph.n());
+    }
+
+    #[test]
+    fn spanner_preserves_components_and_never_adds_edges(graph in graph_strategy()) {
+        let sp = derandomized_spanner(&graph);
+        prop_assert!(verify_spanner(&graph, &sp).is_ok());
+        prop_assert!(sp.edges.len() <= graph.m());
+    }
+
+    #[test]
+    fn square_graph_distances_shrink(graph in graph_strategy()) {
+        let g2 = square::square(&graph);
+        // Every edge of G is an edge of G²; degrees only grow.
+        for (u, v) in graph.edges() {
+            prop_assert!(g2.has_edge(u, v));
+        }
+        for v in graph.nodes() {
+            prop_assert!(g2.degree(v) >= graph.degree(v));
+        }
+    }
+
+    #[test]
+    fn exact_is_never_larger_than_greedy(seed in 0u64..200) {
+        let graph = generators::gnp(22, 0.18, seed);
+        let opt = exact::exact_mds(&graph, 30).unwrap();
+        let greedy_size = greedy::greedy_mds(&graph).size();
+        prop_assert!(verify::is_dominating_set(&graph, &opt.set));
+        prop_assert!(opt.size() <= greedy_size);
+    }
+
+    #[test]
+    fn kwise_coins_respect_their_bias_direction(k in 1usize..8, seed in 0u64..500, prob in 0.0f64..1.0) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let generator = KWiseGenerator::from_rng(k, &mut rng);
+        // A coin with probability 0 never fires; probability 1 always fires.
+        prop_assert!(!generator.coin(3, 0.0));
+        prop_assert!(generator.coin(3, 1.0 + 1e-12));
+        let value = generator.value(17);
+        prop_assert!((0.0..1.0).contains(&value));
+        // The coin is monotone in its probability.
+        if generator.coin(5, prob) {
+            prop_assert!(generator.coin(5, (prob + 0.1).min(1.0 + 1e-12)));
+        }
+    }
+
+    #[test]
+    fn fractional_assignment_scaling_never_breaks_bounds(
+        values in proptest::collection::vec(0.0f64..1.0, 1..50),
+        factor in 0.0f64..5.0,
+    ) {
+        let x = FractionalAssignment::from_values(values);
+        let scaled = x.scaled_capped(factor);
+        for v in 0..x.len() {
+            let node = NodeId(v);
+            prop_assert!(scaled.value(node) <= 1.0 + 1e-12);
+            if factor >= 1.0 {
+                prop_assert!(scaled.value(node) + 1e-12 >= x.value(node));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip(graph in graph_strategy()) {
+        let text = congest_mds::graphs::io::to_edge_list(&graph);
+        let back = congest_mds::graphs::io::from_edge_list(&text).unwrap();
+        prop_assert_eq!(graph, back);
+    }
+
+    #[test]
+    fn connected_components_partition_the_nodes(graph in graph_strategy()) {
+        let comps = analysis::connected_components(&graph);
+        prop_assert_eq!(comps.sizes.iter().sum::<usize>(), graph.n());
+        for v in graph.nodes() {
+            prop_assert!(comps.component[v.0] < comps.count);
+        }
+    }
+}
