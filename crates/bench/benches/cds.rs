@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_cds(c: &mut Criterion) {
     let mut group = c.benchmark_group("connected_dominating_set");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let g = generators::grid(12, 12);
     let ds = greedy_mds(&g).set;
     group.bench_function("connect_grid_12x12", |b| {

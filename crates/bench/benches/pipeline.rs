@@ -9,7 +9,9 @@ use std::time::Duration;
 fn bench_theorem_1_1_vs_n(c: &mut Criterion) {
     let config = experiment_config();
     let mut group = c.benchmark_group("theorem_1_1_rounds_vs_n");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for &n in &[50usize, 100, 200] {
         let g = generators::gnp(n, 8.0 / n as f64, 3);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
@@ -22,7 +24,9 @@ fn bench_theorem_1_1_vs_n(c: &mut Criterion) {
 fn bench_theorem_1_2_vs_delta(c: &mut Criterion) {
     let config = experiment_config();
     let mut group = c.benchmark_group("theorem_1_2_rounds_vs_delta");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for &d in &[4usize, 8, 16] {
         let g = generators::random_regular(150, d, 9);
         group.bench_with_input(BenchmarkId::from_parameter(d), &g, |b, g| {
@@ -34,13 +38,24 @@ fn bench_theorem_1_2_vs_delta(c: &mut Criterion) {
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let g = generators::gnp(200, 0.04, 1);
-    group.bench_function("greedy_mds_n200", |b| b.iter(|| mds_core::greedy::greedy_mds(&g)));
+    group.bench_function("greedy_mds_n200", |b| {
+        b.iter(|| mds_core::greedy::greedy_mds(&g))
+    });
     let small = generators::gnp(26, 0.18, 1);
-    group.bench_function("exact_mds_n26", |b| b.iter(|| mds_core::exact::exact_mds(&small, 30)));
+    group.bench_function("exact_mds_n26", |b| {
+        b.iter(|| mds_core::exact::exact_mds(&small, 30))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_theorem_1_1_vs_n, bench_theorem_1_2_vs_delta, bench_baselines);
+criterion_group!(
+    benches,
+    bench_theorem_1_1_vs_n,
+    bench_theorem_1_2_vs_delta,
+    bench_baselines
+);
 criterion_main!(benches);

@@ -17,7 +17,9 @@ use std::time::Duration;
 
 fn bench_decomposition(c: &mut Criterion) {
     let mut group = c.benchmark_group("network_decomposition");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for &n in &[100usize, 250] {
         let g = generators::gnp(n, 6.0 / n as f64, 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
@@ -29,21 +31,34 @@ fn bench_decomposition(c: &mut Criterion) {
 
 fn bench_coloring_and_spanner(c: &mut Criterion) {
     let mut group = c.benchmark_group("coloring_and_spanner");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let g = generators::gnp(200, 0.05, 4);
-    group.bench_function("distance2_coloring_n200", |b| b.iter(|| graph_distance_two_coloring(&g)));
-    group.bench_function("derandomized_spanner_n200", |b| b.iter(|| derandomized_spanner(&g)));
+    group.bench_function("distance2_coloring_n200", |b| {
+        b.iter(|| graph_distance_two_coloring(&g))
+    });
+    group.bench_function("derandomized_spanner_n200", |b| {
+        b.iter(|| derandomized_spanner(&g))
+    });
     group.finish();
 }
 
 fn bench_kwise(c: &mut Criterion) {
     let mut group = c.benchmark_group("kwise_coins");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let mut rng = StdRng::seed_from_u64(1);
     for &k in &[8usize, 64, 256] {
         let gen = KWiseGenerator::from_rng(k, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(k), &gen, |b, gen| {
-            b.iter(|| (0..1000u64).map(|i| gen.coin(i, 0.3)).filter(|&x| x).count())
+            b.iter(|| {
+                (0..1000u64)
+                    .map(|i| gen.coin(i, 0.3))
+                    .filter(|&x| x)
+                    .count()
+            })
         });
     }
     group.finish();
@@ -51,7 +66,9 @@ fn bench_kwise(c: &mut Criterion) {
 
 fn bench_derandomization(c: &mut Criterion) {
     let mut group = c.benchmark_group("one_shot_derandomization");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for &n in &[100usize, 200] {
         let g = generators::gnp(n, 8.0 / n as f64, 5);
         let x = lp::degree_heuristic(&g);

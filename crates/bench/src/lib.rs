@@ -44,7 +44,9 @@ fn fmt_row(cells: &[String]) -> String {
 
 fn header(cols: &[&str]) -> String {
     let mut s = fmt_row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
-    s.push_str(&fmt_row(&cols.iter().map(|_| "---".to_string()).collect::<Vec<_>>()));
+    s.push_str(&fmt_row(
+        &cols.iter().map(|_| "---".to_string()).collect::<Vec<_>>(),
+    ));
     s
 }
 
@@ -55,7 +57,10 @@ pub fn small_families() -> Vec<GraphFamily> {
         GraphFamily::Grid { rows: 5, cols: 6 },
         GraphFamily::Cycle { n: 30 },
         GraphFamily::Caterpillar { spine: 6, legs: 3 },
-        GraphFamily::UnitDisk { n: 30, radius: 0.35 },
+        GraphFamily::UnitDisk {
+            n: 30,
+            radius: 0.35,
+        },
         GraphFamily::RandomTree { n: 30 },
     ]
 }
@@ -66,16 +71,28 @@ pub fn large_families() -> Vec<GraphFamily> {
         GraphFamily::Gnp { n: 400, p: 0.02 },
         GraphFamily::Grid { rows: 20, cols: 20 },
         GraphFamily::BarabasiAlbert { n: 400, m: 3 },
-        GraphFamily::UnitDisk { n: 300, radius: 0.12 },
+        GraphFamily::UnitDisk {
+            n: 300,
+            radius: 0.12,
+        },
     ]
 }
 
 /// E1: approximation ratios against the exact optimum on small graphs.
 pub fn e1_approximation_vs_exact() -> String {
     let config = experiment_config();
-    let mut out = String::from("## E1 — approximation ratio vs exact optimum (Theorems 1.1/1.2)\n\n");
+    let mut out =
+        String::from("## E1 — approximation ratio vs exact optimum (Theorems 1.1/1.2)\n\n");
     out.push_str(&header(&[
-        "family", "n", "Δ", "OPT", "greedy", "rand. one-shot", "Thm 1.1", "Thm 1.2", "guarantee",
+        "family",
+        "n",
+        "Δ",
+        "OPT",
+        "greedy",
+        "rand. one-shot",
+        "Thm 1.1",
+        "Thm 1.2",
+        "guarantee",
     ]));
     for family in small_families() {
         let g = generators::generate(&family, 11);
@@ -91,10 +108,21 @@ pub fn e1_approximation_vs_exact() -> String {
             g.n().to_string(),
             g.max_degree().to_string(),
             opt.to_string(),
-            format!("{greedy_size} ({:.2}×)", greedy_size as f64 / opt.max(1) as f64),
+            format!(
+                "{greedy_size} ({:.2}×)",
+                greedy_size as f64 / opt.max(1) as f64
+            ),
             format!("{rand_size} ({:.2}×)", rand_size as f64 / opt.max(1) as f64),
-            format!("{} ({:.2}×)", t11.size(), t11.size() as f64 / opt.max(1) as f64),
-            format!("{} ({:.2}×)", t12.size(), t12.size() as f64 / opt.max(1) as f64),
+            format!(
+                "{} ({:.2}×)",
+                t11.size(),
+                t11.size() as f64 / opt.max(1) as f64
+            ),
+            format!(
+                "{} ({:.2}×)",
+                t12.size(),
+                t12.size() as f64 / opt.max(1) as f64
+            ),
             format!("{:.2}×", t11.guarantee(&g)),
         ]));
     }
@@ -106,7 +134,16 @@ pub fn e1_approximation_vs_exact() -> String {
 pub fn e2_approximation_at_scale() -> String {
     let config = experiment_config();
     let mut out = String::from("## E2 — approximation vs LP lower bound at scale\n\n");
-    out.push_str(&header(&["family", "n", "Δ", "LP lower bound", "greedy", "Thm 1.1", "Thm 1.2", "guarantee"]));
+    out.push_str(&header(&[
+        "family",
+        "n",
+        "Δ",
+        "LP lower bound",
+        "greedy",
+        "Thm 1.1",
+        "Thm 1.2",
+        "guarantee",
+    ]));
     for family in large_families() {
         let g = generators::generate(&family, 5);
         let lb = lp::dual_lower_bound(&g);
@@ -130,8 +167,15 @@ pub fn e2_approximation_at_scale() -> String {
 /// E3: round complexity of the Theorem 1.1 route as `n` grows.
 pub fn e3_rounds_vs_n() -> String {
     let config = experiment_config();
-    let mut out = String::from("## E3 — rounds vs n (Theorem 1.1, network-decomposition route)\n\n");
-    out.push_str(&header(&["n", "rounds (simulated)", "rounds (paper formula)", "2^sqrt(log n loglog n)", "size"]));
+    let mut out =
+        String::from("## E3 — rounds vs n (Theorem 1.1, network-decomposition route)\n\n");
+    out.push_str(&header(&[
+        "n",
+        "rounds (simulated)",
+        "rounds (paper formula)",
+        "2^sqrt(log n loglog n)",
+        "size",
+    ]));
     for &n in &[50usize, 100, 200, 400, 800] {
         let g = generators::gnp(n, 8.0 / n as f64, 3);
         let result = theorem_1_1(&g, &config);
@@ -150,7 +194,13 @@ pub fn e3_rounds_vs_n() -> String {
 pub fn e4_rounds_vs_delta() -> String {
     let config = experiment_config();
     let mut out = String::from("## E4 — rounds vs Δ (Theorem 1.2, coloring route), n = 300\n\n");
-    out.push_str(&header(&["target degree", "Δ", "rounds (simulated)", "rounds (paper formula)", "size"]));
+    out.push_str(&header(&[
+        "target degree",
+        "Δ",
+        "rounds (simulated)",
+        "rounds (paper formula)",
+        "size",
+    ]));
     for &d in &[4usize, 8, 16, 32] {
         let g = generators::random_regular(300, d, 9);
         let result = theorem_1_2(&g, &config);
@@ -171,11 +221,19 @@ pub fn e5_doubling_trajectory() -> String {
     config.concentration_scale = 0.0005; // force several factor-two iterations
     let g = generators::gnp(150, 0.08, 4);
     let result = theorem_1_1(&g, &config);
-    let mut out = String::from("## E5 — factor-two doubling trajectory (Lemma 3.9 per-step inflation)\n\n");
-    out.push_str(&header(&["stage", "size", "fractionality", "size inflation vs previous"]));
+    let mut out =
+        String::from("## E5 — factor-two doubling trajectory (Lemma 3.9 per-step inflation)\n\n");
+    out.push_str(&header(&[
+        "stage",
+        "size",
+        "fractionality",
+        "size inflation vs previous",
+    ]));
     let mut prev: Option<f64> = None;
     for stage in &result.stages {
-        let inflation = prev.map(|p| format!("{:.3}×", stage.size / p)).unwrap_or_else(|| "-".into());
+        let inflation = prev
+            .map(|p| format!("{:.3}×", stage.size / p))
+            .unwrap_or_else(|| "-".into());
         out.push_str(&fmt_row(&[
             stage.name.clone(),
             format!("{:.2}", stage.size),
@@ -190,7 +248,14 @@ pub fn e5_doubling_trajectory() -> String {
 /// E6: empirical violation probabilities vs the Lemma 3.6 bound `1/Δ̃`.
 pub fn e6_violation_probabilities() -> String {
     let mut out = String::from("## E6 — empirical Pr(E_v = 1) vs the Lemma 3.6 bound\n\n");
-    out.push_str(&header(&["family", "Δ̃", "bound 1/Δ̃", "max empirical Pr", "mean empirical Pr", "trials"]));
+    out.push_str(&header(&[
+        "family",
+        "Δ̃",
+        "bound 1/Δ̃",
+        "max empirical Pr",
+        "mean empirical Pr",
+        "trials",
+    ]));
     let trials = 400usize;
     for family in [
         GraphFamily::Cycle { n: 60 },
@@ -208,8 +273,8 @@ pub fn e6_violation_probabilities() -> String {
             }
         }
         let max = violations.iter().copied().max().unwrap_or(0) as f64 / trials as f64;
-        let mean =
-            violations.iter().sum::<usize>() as f64 / (trials as f64 * violations.len().max(1) as f64);
+        let mean = violations.iter().sum::<usize>() as f64
+            / (trials as f64 * violations.len().max(1) as f64);
         out.push_str(&fmt_row(&[
             family.label(),
             g.delta_tilde().to_string(),
@@ -253,7 +318,9 @@ pub fn e7_kwise_independence() -> String {
                     bias_hits += 1;
                 }
             }
-            size_sum += mds_rounding::process::execute_with_kwise(&problem, &gen).output.size();
+            size_sum += mds_rounding::process::execute_with_kwise(&problem, &gen)
+                .output
+                .size();
         }
         out.push_str(&fmt_row(&[
             k.to_string(),
@@ -271,11 +338,21 @@ pub fn e8_cds_overhead() -> String {
     let config = experiment_config();
     let mut out = String::from("## E8 — CDS overhead (Theorem 1.4)\n\n");
     out.push_str(&header(&[
-        "family", "|S| (Thm 1.1)", "|CDS|", "overhead", "3·|S| (tree bound)", "clusters", "spanner edges", "connected",
+        "family",
+        "|S| (Thm 1.1)",
+        "|CDS|",
+        "overhead",
+        "3·|S| (tree bound)",
+        "clusters",
+        "spanner edges",
+        "connected",
     ]));
     for family in [
         GraphFamily::Grid { rows: 10, cols: 10 },
-        GraphFamily::UnitDisk { n: 150, radius: 0.2 },
+        GraphFamily::UnitDisk {
+            n: 150,
+            radius: 0.2,
+        },
         GraphFamily::Gnp { n: 150, p: 0.04 },
         GraphFamily::BarabasiAlbert { n: 150, m: 2 },
     ] {
@@ -310,14 +387,18 @@ pub fn e8_cds_overhead() -> String {
 pub fn e9_ablations() -> String {
     let g = generators::gnp(120, 0.07, 21);
     let opt_proxy = greedy::greedy_mds(&g).size() as f64;
-    let mut out = String::from("## E9 — ablations (estimator, fractional solver, pipeline depth)\n\n");
+    let mut out =
+        String::from("## E9 — ablations (estimator, fractional solver, pipeline depth)\n\n");
     out.push_str(&header(&["variant", "size", "vs greedy", "notes"]));
     let mut rows: Vec<[String; 4]> = Vec::new();
 
     for (label, estimator) in [
         ("exact/auto estimator", EstimatorKind::default()),
         ("Chernoff pessimistic estimator", EstimatorKind::Chernoff),
-        ("coarse DP estimator (64 buckets)", EstimatorKind::ExactDp { resolution: 64 }),
+        (
+            "coarse DP estimator (64 buckets)",
+            EstimatorKind::ExactDp { resolution: 64 },
+        ),
     ] {
         let mut config = experiment_config();
         config.estimator = estimator;
@@ -331,8 +412,14 @@ pub fn e9_ablations() -> String {
     }
 
     for (label, method) in [
-        ("KW05 local fractional solver", FractionalMethod::Kw05 { k: None }),
-        ("degree-heuristic fractional solver", FractionalMethod::DegreeHeuristic),
+        (
+            "KW05 local fractional solver",
+            FractionalMethod::Kw05 { k: None },
+        ),
+        (
+            "degree-heuristic fractional solver",
+            FractionalMethod::DegreeHeuristic,
+        ),
     ] {
         let mut config = experiment_config();
         config.fractional = method;
@@ -374,8 +461,17 @@ pub fn e9_ablations() -> String {
 
 /// E10: network decomposition quality vs the `O(log n)` targets.
 pub fn e10_decomposition_quality() -> String {
-    let mut out = String::from("## E10 — network decomposition quality (Definition 3.2 objects)\n\n");
-    out.push_str(&header(&["family", "n", "colors c", "diameter d", "log2 n", "clusters", "valid"]));
+    let mut out =
+        String::from("## E10 — network decomposition quality (Definition 3.2 objects)\n\n");
+    out.push_str(&header(&[
+        "family",
+        "n",
+        "colors c",
+        "diameter d",
+        "log2 n",
+        "clusters",
+        "valid",
+    ]));
     for family in [
         GraphFamily::Grid { rows: 15, cols: 15 },
         GraphFamily::Gnp { n: 300, p: 0.02 },

@@ -35,7 +35,9 @@ pub struct CdsConfig {
 
 impl Default for CdsConfig {
     fn default() -> Self {
-        CdsConfig { center_separation: 3 }
+        CdsConfig {
+            center_separation: 3,
+        }
     }
 }
 
@@ -291,7 +293,11 @@ mod tests {
         // O(ln Δ) — allow the constant-factor connection overhead on top of
         // the MDS guarantee.
         let bound = 4.0 * mds.guarantee(&g) * opt + 2.0;
-        assert!(cds.size() as f64 <= bound, "CDS {} exceeds bound {bound}", cds.size());
+        assert!(
+            cds.size() as f64 <= bound,
+            "CDS {} exceeds bound {bound}",
+            cds.size()
+        );
     }
 
     #[test]
@@ -300,7 +306,8 @@ mod tests {
         let out = connect_dominating_set(&g, &[NodeId(0)], &CdsConfig::default());
         assert_eq!(out.cds, vec![NodeId(0)]);
         assert_eq!(out.overhead(), 1.0);
-        let empty = connect_dominating_set(&congest_sim::Graph::empty(0), &[], &CdsConfig::default());
+        let empty =
+            connect_dominating_set(&congest_sim::Graph::empty(0), &[], &CdsConfig::default());
         assert!(empty.cds.is_empty());
     }
 
@@ -334,8 +341,20 @@ mod tests {
     fn larger_separation_means_fewer_clusters() {
         let g = generators::grid(12, 12);
         let ds = greedy_mds(&g).set;
-        let near = connect_dominating_set(&g, &ds, &CdsConfig { center_separation: 2 });
-        let far = connect_dominating_set(&g, &ds, &CdsConfig { center_separation: 6 });
+        let near = connect_dominating_set(
+            &g,
+            &ds,
+            &CdsConfig {
+                center_separation: 2,
+            },
+        );
+        let far = connect_dominating_set(
+            &g,
+            &ds,
+            &CdsConfig {
+                center_separation: 6,
+            },
+        );
         assert!(far.num_clusters <= near.num_clusters);
         assert!(is_connected_dominating_set(&g, &near.cds));
         assert!(is_connected_dominating_set(&g, &far.cds));

@@ -77,7 +77,11 @@ pub fn build_gs(graph: &Graph, set: &[NodeId]) -> GsGraph {
             witnesses.push(((i, j), inner));
         }
     }
-    GsGraph { set, graph: builder.build(), witnesses }
+    GsGraph {
+        set,
+        graph: builder.build(),
+        witnesses,
+    }
 }
 
 /// Claim 4.1: for a dominating set `S` of `G`, `G_S` is connected iff `G` is.
@@ -122,7 +126,12 @@ mod tests {
             walk.extend_from_slice(inner);
             walk.push(gs.set[*j]);
             for pair in walk.windows(2) {
-                assert!(g.has_edge(pair[0], pair[1]), "witness step {}-{} missing", pair[0], pair[1]);
+                assert!(
+                    g.has_edge(pair[0], pair[1]),
+                    "witness step {}-{} missing",
+                    pair[0],
+                    pair[1]
+                );
             }
         }
     }

@@ -34,7 +34,10 @@ mod tests {
     fn disconnected_dominating_set_is_rejected() {
         let g = generators::path(9);
         // {1, 4, 7} dominates P9 but induces no edges.
-        assert!(!is_connected_dominating_set(&g, &[NodeId(1), NodeId(4), NodeId(7)]));
+        assert!(!is_connected_dominating_set(
+            &g,
+            &[NodeId(1), NodeId(4), NodeId(7)]
+        ));
         // Adding the connectors makes it connected.
         let cds: Vec<NodeId> = (1..8).map(NodeId).collect();
         assert!(is_connected_dominating_set(&g, &cds));
@@ -48,7 +51,10 @@ mod tests {
 
     #[test]
     fn empty_set_only_for_empty_graph() {
-        assert!(is_connected_dominating_set(&congest_sim::Graph::empty(0), &[]));
+        assert!(is_connected_dominating_set(
+            &congest_sim::Graph::empty(0),
+            &[]
+        ));
         assert!(!is_connected_dominating_set(&generators::path(3), &[]));
     }
 }

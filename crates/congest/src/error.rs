@@ -25,7 +25,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
-                write!(f, "edge endpoint {node} out of range for graph with {n} nodes")
+                write!(
+                    f,
+                    "edge endpoint {node} out of range for graph with {n} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
         }

@@ -55,7 +55,9 @@ pub struct Inbox<M> {
 
 impl<M> Inbox<M> {
     fn new() -> Self {
-        Inbox { messages: Vec::new() }
+        Inbox {
+            messages: Vec::new(),
+        }
     }
 
     /// Iterates over `(sender, message)` pairs.
@@ -220,7 +222,10 @@ impl fmt::Display for ExecutionError {
                 write!(f, "{programs} programs supplied for {nodes} nodes")
             }
             ExecutionError::BandwidthExceeded { from, bits, budget } => {
-                write!(f, "message of {bits} bits from {from} exceeds budget of {budget} bits")
+                write!(
+                    f,
+                    "message of {bits} bits from {from} exceeds budget of {budget} bits"
+                )
             }
         }
     }
@@ -340,7 +345,10 @@ impl SyncExecutor {
         }
 
         Ok(RunReport {
-            outputs: outputs.into_iter().map(|o| o.expect("halted node has output")).collect(),
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("halted node has output"))
+                .collect(),
             rounds: round,
             messages: total_messages,
             max_message_bits,
@@ -368,7 +376,10 @@ mod tests {
 
         fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, NodeId)> {
             self.best = ctx.id.0;
-            ctx.neighbors().iter().map(|&u| (u, NodeId(self.best))).collect()
+            ctx.neighbors()
+                .iter()
+                .map(|&u| (u, NodeId(self.best)))
+                .collect()
         }
 
         fn round(
@@ -383,7 +394,10 @@ mod tests {
                 RoundAction::Halt(self.best)
             } else {
                 RoundAction::Continue(
-                    ctx.neighbors().iter().map(|&u| (u, NodeId(self.best))).collect(),
+                    ctx.neighbors()
+                        .iter()
+                        .map(|&u| (u, NodeId(self.best)))
+                        .collect(),
                 )
             }
         }
@@ -397,7 +411,12 @@ mod tests {
     #[test]
     fn min_id_flood_converges_on_a_path() {
         let g = path_graph(6);
-        let programs: Vec<_> = (0..6).map(|_| MinId { best: usize::MAX, rounds: 6 }).collect();
+        let programs: Vec<_> = (0..6)
+            .map(|_| MinId {
+                best: usize::MAX,
+                rounds: 6,
+            })
+            .collect();
         let report = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap();
         assert!(report.outputs.iter().all(|&o| o == 0));
         assert_eq!(report.rounds, 6);
@@ -409,7 +428,12 @@ mod tests {
     #[test]
     fn too_few_rounds_does_not_converge() {
         let g = path_graph(8);
-        let programs: Vec<_> = (0..8).map(|_| MinId { best: usize::MAX, rounds: 2 }).collect();
+        let programs: Vec<_> = (0..8)
+            .map(|_| MinId {
+                best: usize::MAX,
+                rounds: 2,
+            })
+            .collect();
         let report = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap();
         // Node 7 is at distance 7 from node 0; after 2 rounds it cannot know 0.
         assert_ne!(report.outputs[7], 0);
@@ -464,7 +488,10 @@ mod tests {
     fn round_limit_is_enforced() {
         let g = path_graph(2);
         let programs: Vec<_> = (0..2).map(|_| NeverHalts).collect();
-        let config = ExecutorConfig { max_rounds: 10, ..ExecutorConfig::default() };
+        let config = ExecutorConfig {
+            max_rounds: 10,
+            ..ExecutorConfig::default()
+        };
         let err = SyncExecutor::run(&g, programs, &config).unwrap_err();
         assert_eq!(err, ExecutionError::RoundLimitExceeded { limit: 10 });
     }
@@ -474,7 +501,10 @@ mod tests {
         type Message = Vec<u64>;
         type Output = ();
         fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, Vec<u64>)> {
-            ctx.neighbors().iter().map(|&u| (u, vec![0u64; 64])).collect()
+            ctx.neighbors()
+                .iter()
+                .map(|&u| (u, vec![0u64; 64]))
+                .collect()
         }
         fn round(&mut self, _: &NodeContext<'_>, _: &Inbox<Vec<u64>>) -> RoundAction<Vec<u64>, ()> {
             RoundAction::Halt(())

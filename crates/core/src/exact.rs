@@ -32,7 +32,9 @@ struct Mask {
 
 impl Mask {
     fn new(n: usize) -> Self {
-        Mask { words: vec![0; n.div_ceil(128)] }
+        Mask {
+            words: vec![0; n.div_ceil(128)],
+        }
     }
     fn set(&mut self, i: usize) {
         self.words[i / 128] |= 1u128 << (i % 128);
@@ -65,7 +67,10 @@ pub fn exact_mds(graph: &Graph, node_budget: usize) -> Option<ExactResult> {
         return None;
     }
     if n == 0 {
-        return Some(ExactResult { set: vec![], explored: 0 });
+        return Some(ExactResult {
+            set: vec![],
+            explored: 0,
+        });
     }
     let closed: Vec<Mask> = graph
         .nodes()
@@ -158,7 +163,12 @@ mod tests {
         // Cycle on n nodes needs ceil(n/3).
         assert_eq!(exact_mds(&generators::cycle(12), 64).unwrap().size(), 4);
         // Caterpillar: the spine is optimal.
-        assert_eq!(exact_mds(&generators::caterpillar(5, 3), 64).unwrap().size(), 5);
+        assert_eq!(
+            exact_mds(&generators::caterpillar(5, 3), 64)
+                .unwrap()
+                .size(),
+            5
+        );
     }
 
     #[test]
@@ -183,8 +193,14 @@ mod tests {
 
     #[test]
     fn empty_and_isolated_graphs() {
-        assert_eq!(exact_mds(&congest_sim::Graph::empty(0), 10).unwrap().size(), 0);
-        assert_eq!(exact_mds(&congest_sim::Graph::empty(5), 10).unwrap().size(), 5);
+        assert_eq!(
+            exact_mds(&congest_sim::Graph::empty(0), 10).unwrap().size(),
+            0
+        );
+        assert_eq!(
+            exact_mds(&congest_sim::Graph::empty(5), 10).unwrap().size(),
+            5
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ use congest_sim::ledger::formulas;
 use congest_sim::{Graph, NodeId, RoundLedger};
 use mds_decomposition::coloring::{bipartite_distance_two_coloring, BipartiteColoring};
 use mds_decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
-use mds_fractional::lemma21::{initial_fractional_solution, FractionalMethod, InitialSolutionConfig};
+use mds_fractional::lemma21::{
+    initial_fractional_solution, FractionalMethod, InitialSolutionConfig,
+};
 use mds_fractional::FractionalAssignment;
 use mds_graphs::BipartiteGraph;
 use mds_rounding::derandomize::{derandomize, DerandomizeConfig};
@@ -131,7 +133,7 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
     let mut stages = Vec::new();
 
     // ---- Part I: initial fractional solution (Lemma 2.1). ----
-    let eps1 = (config.epsilon / 4.0).min(0.25).max(1e-3);
+    let eps1 = (config.epsilon / 4.0).clamp(1e-3, 0.25);
     let initial = initial_fractional_solution(
         graph,
         &InitialSolutionConfig {
@@ -151,7 +153,8 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
     // Precompute the derandomization structure shared by all rounding steps.
     let decomposition = match &config.route {
         DerandRoute::NetworkDecomposition { k } => {
-            let nd = strong_diameter_decomposition(graph, (*k).max(1), &DecompositionConfig::default());
+            let nd =
+                strong_diameter_decomposition(graph, (*k).max(1), &DecompositionConfig::default());
             ledger.absorb(nd.ledger.clone());
             Some(nd)
         }
@@ -161,16 +164,22 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
         nd.clusters_by_color()
             .into_iter()
             .flatten()
-            .map(|ci| nd.clusters.clusters[ci].members.iter().map(|v| v.0).collect())
+            .map(|ci| {
+                nd.clusters.clusters[ci]
+                    .members
+                    .iter()
+                    .map(|v| v.0)
+                    .collect()
+            })
             .collect()
     });
 
     // ---- Part II: factor-two doubling loop (Lemmas 3.9 / 3.14). ----
     let rho = ((delta_tilde as f64 / config.epsilon).log2().ceil()).max(1.0);
     let eps2 = (config.epsilon / (4.0 * rho)).max(1e-4);
-    let f_target = (config.concentration_scale * 256.0 * config.epsilon.powi(-3)
-        * (delta_tilde as f64).ln())
-    .max(4.0);
+    let f_target =
+        (config.concentration_scale * 256.0 * config.epsilon.powi(-3) * (delta_tilde as f64).ln())
+            .max(4.0);
     let mut iteration = 0usize;
     loop {
         let r = 1.0 / assignment.fractionality().max(1e-12);
@@ -209,7 +218,10 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
         ledger.absorb(charge);
         let out = derandomize(
             &problem,
-            &DerandomizeConfig { estimator: config.estimator, groups: Some(groups) },
+            &DerandomizeConfig {
+                estimator: config.estimator,
+                groups: Some(groups),
+            },
         );
         assignment = out.output;
         stages.push(StageRecord {
@@ -245,7 +257,10 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
         ledger.absorb(charge);
         let out = derandomize(
             &problem,
-            &DerandomizeConfig { estimator: config.estimator, groups: Some(groups) },
+            &DerandomizeConfig {
+                estimator: config.estimator,
+                groups: Some(groups),
+            },
         );
         out.output
     };
@@ -286,8 +301,7 @@ fn derandomization_groups(
             let groups = nd_groups.expect("groups precomputed").to_vec();
             ledger.charge_with_formula(
                 "derandomization via network decomposition (Lemma 3.4)",
-                groups.iter().map(|g| g.len() as u64).sum::<u64>()
-                    * (nd.diameter() as u64 + 1),
+                groups.iter().map(|g| g.len() as u64).sum::<u64>() * (nd.diameter() as u64 + 1),
                 formulas::netdecomp_derandomization_rounds(n, nd.num_colors(), nd.diameter() + 1),
                 problem.values.len() as u64 * 2,
             );
@@ -405,7 +419,10 @@ mod tests {
         for (seed, p) in [(1u64, 0.15), (2, 0.25)] {
             let g = generators::gnp(28, p, seed);
             let opt = crate::exact::exact_mds(&g, 40).unwrap().size() as f64;
-            for result in [theorem_1_1(&g, &quick_config()), theorem_1_2(&g, &quick_config())] {
+            for result in [
+                theorem_1_1(&g, &quick_config()),
+                theorem_1_2(&g, &quick_config()),
+            ] {
                 let ratio = result.size() as f64 / opt;
                 assert!(
                     ratio <= result.guarantee(&g) + 1e-9,
@@ -439,8 +456,14 @@ mod tests {
         let g = generators::gnp(40, 0.1, 5);
         let result = theorem_1_1(&g, &quick_config());
         assert!(result.stages.len() >= 2);
-        assert_eq!(result.stages.first().unwrap().name, "part I: initial fractional solution");
-        assert_eq!(result.stages.last().unwrap().name, "part III: one-shot rounding");
+        assert_eq!(
+            result.stages.first().unwrap().name,
+            "part I: initial fractional solution"
+        );
+        assert_eq!(
+            result.stages.last().unwrap().name,
+            "part III: one-shot rounding"
+        );
         // The final stage is integral.
         assert_eq!(result.stages.last().unwrap().fractionality, 1.0);
     }
@@ -451,9 +474,15 @@ mod tests {
         let mut config = quick_config();
         config.concentration_scale = 0.002;
         let result = theorem_1_1(&g, &config);
-        let doubling_stages =
-            result.stages.iter().filter(|s| s.name.starts_with("part II")).count();
-        assert!(doubling_stages >= 1, "expected at least one factor-two iteration");
+        let doubling_stages = result
+            .stages
+            .iter()
+            .filter(|s| s.name.starts_with("part II"))
+            .count();
+        assert!(
+            doubling_stages >= 1,
+            "expected at least one factor-two iteration"
+        );
         assert!(is_dominating_set(&g, &result.dominating_set));
     }
 

@@ -5,7 +5,9 @@
 //! and they demonstrate the `k`-wise independent execution path of Lemma 3.3.
 
 use congest_sim::{Graph, NodeId, RoundLedger};
-use mds_fractional::lemma21::{initial_fractional_solution, FractionalMethod, InitialSolutionConfig};
+use mds_fractional::lemma21::{
+    initial_fractional_solution, FractionalMethod, InitialSolutionConfig,
+};
 use mds_rounding::kwise::KWiseGenerator;
 use mds_rounding::one_shot::OneShotRounding;
 use mds_rounding::process::{execute_with_kwise, execute_with_rng};
@@ -56,7 +58,12 @@ pub fn randomized_one_shot(graph: &Graph, epsilon: f64, seed: u64) -> Randomized
 /// Randomized one-shot rounding driven by `k`-wise independent coins derived
 /// from a `61·k`-bit seed (Lemma 3.3) — the primitive a cluster of Lemma 3.4
 /// executes after its leader has fixed the seed.
-pub fn randomized_one_shot_kwise(graph: &Graph, epsilon: f64, k: usize, seed: u64) -> RandomizedResult {
+pub fn randomized_one_shot_kwise(
+    graph: &Graph,
+    epsilon: f64,
+    k: usize,
+    seed: u64,
+) -> RandomizedResult {
     let initial = initial_fractional_solution(
         graph,
         &InitialSolutionConfig {
@@ -70,7 +77,11 @@ pub fn randomized_one_shot_kwise(graph: &Graph, epsilon: f64, k: usize, seed: u6
     let mut rng = StdRng::seed_from_u64(seed);
     let generator = KWiseGenerator::from_rng(k.max(1), &mut rng);
     let out = execute_with_kwise(&problem, &generator);
-    ledger.charge("randomized one-shot rounding (k-wise seed)", 2, graph.m() as u64);
+    ledger.charge(
+        "randomized one-shot rounding (k-wise seed)",
+        2,
+        graph.m() as u64,
+    );
     RandomizedResult {
         dominating_set: out.output.selected_nodes(),
         repaired: out.violated_constraints.len(),
@@ -132,6 +143,9 @@ mod tests {
         }
         let mean = total as f64 / trials as f64;
         let bound = g.n() as f64 / g.delta_tilde() as f64;
-        assert!(mean <= 3.0 * bound + 2.0, "mean repairs {mean} vs n/Δ̃ = {bound}");
+        assert!(
+            mean <= 3.0 * bound + 2.0,
+            "mean repairs {mean} vs n/Δ̃ = {bound}"
+        );
     }
 }

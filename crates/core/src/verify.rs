@@ -49,8 +49,17 @@ impl ApproximationReport {
     pub fn new(graph: &Graph, size: usize, lower_bound: f64, epsilon: f64) -> Self {
         let delta_tilde = graph.delta_tilde().max(2) as f64;
         let paper_guarantee = (1.0 + epsilon) * (1.0 + delta_tilde.ln());
-        let ratio = if lower_bound > 0.0 { size as f64 / lower_bound } else { f64::INFINITY };
-        ApproximationReport { size, lower_bound, ratio, paper_guarantee }
+        let ratio = if lower_bound > 0.0 {
+            size as f64 / lower_bound
+        } else {
+            f64::INFINITY
+        };
+        ApproximationReport {
+            size,
+            lower_bound,
+            ratio,
+            paper_guarantee,
+        }
     }
 
     /// Whether the measured ratio is within the paper's guarantee.
@@ -87,7 +96,10 @@ mod tests {
     #[test]
     fn assignment_extraction() {
         let x = FractionalAssignment::from_values(vec![1.0, 0.0, 1.0]);
-        assert_eq!(dominating_set_from_assignment(&x), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(
+            dominating_set_from_assignment(&x),
+            vec![NodeId(0), NodeId(2)]
+        );
     }
 
     #[test]

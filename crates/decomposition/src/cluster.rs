@@ -98,7 +98,10 @@ impl ClusterGraph {
     ///
     /// Panics if `members` is empty or does not induce a connected subgraph.
     pub fn cluster_from_members(graph: &Graph, members: &[NodeId]) -> Cluster {
-        assert!(!members.is_empty(), "a cluster must have at least one member");
+        assert!(
+            !members.is_empty(),
+            "a cluster must have at least one member"
+        );
         let leader = *members.iter().min().expect("nonempty");
         let mut in_cluster = vec![false; graph.n()];
         for &v in members {
@@ -122,11 +125,20 @@ impl ClusterGraph {
                 }
             }
         }
-        assert_eq!(reached, members.len(), "cluster members must induce a connected subgraph");
+        assert_eq!(
+            reached,
+            members.len(),
+            "cluster members must induce a connected subgraph"
+        );
         let mut members = members.to_vec();
         members.sort_unstable();
         let parents = members.iter().map(|&v| parent[v.0]).collect();
-        Cluster { leader, members, parents, depth }
+        Cluster {
+            leader,
+            members,
+            parents,
+            depth,
+        }
     }
 
     /// Verifies the Definition 3.1 invariants: the clusters partition the
@@ -135,7 +147,11 @@ impl ClusterGraph {
     pub fn verify(&self, graph: &Graph) -> Result<(), String> {
         let n = graph.n();
         if self.cluster_of.len() != n {
-            return Err(format!("cluster_of has length {} for {} nodes", self.cluster_of.len(), n));
+            return Err(format!(
+                "cluster_of has length {} for {} nodes",
+                self.cluster_of.len(),
+                n
+            ));
         }
         let mut seen = vec![false; n];
         for (ci, cluster) in self.clusters.iter().enumerate() {
@@ -285,7 +301,10 @@ mod tests {
             colors: vec![0, 0],
         };
         assert!(cg.verify_separation(&g, 1).is_err());
-        let cg = ClusterGraph { colors: vec![0, 1], ..cg };
+        let cg = ClusterGraph {
+            colors: vec![0, 1],
+            ..cg
+        };
         assert!(cg.verify_separation(&g, 2).is_ok());
     }
 }

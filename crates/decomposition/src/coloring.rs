@@ -86,7 +86,11 @@ pub fn bipartite_distance_two_coloring(
         formulas::bipartite_coloring_rounds(b.max_left_degree(), b.max_right_degree(), n.max(2)),
         b.edge_count() as u64,
     );
-    BipartiteColoring { colors, num_colors, ledger }
+    BipartiteColoring {
+        colors,
+        num_colors,
+        ledger,
+    }
 }
 
 /// Verifies that `coloring` is a proper distance-two coloring of `targets`.
@@ -168,7 +172,11 @@ mod tests {
         let coloring = bipartite_distance_two_coloring(rep.graph(), &targets, g.n());
         verify_bipartite_coloring(rep.graph(), &coloring, &targets).unwrap();
         let bound = rep.graph().max_left_degree() * rep.graph().max_right_degree();
-        assert!(coloring.num_colors <= bound, "{} colors > Δ_L·Δ_R = {bound}", coloring.num_colors);
+        assert!(
+            coloring.num_colors <= bound,
+            "{} colors > Δ_L·Δ_R = {bound}",
+            coloring.num_colors
+        );
         assert!(coloring.ledger.total_formula_rounds() > 0);
     }
 
@@ -203,7 +211,10 @@ mod tests {
         let colors = graph_distance_two_coloring(&g);
         let g2 = mds_graphs::square::square(&g);
         for (u, v) in g2.edges() {
-            assert_ne!(colors[u.0], colors[v.0], "distance-2 neighbors {u},{v} share a color");
+            assert_ne!(
+                colors[u.0], colors[v.0],
+                "distance-2 neighbors {u},{v} share a color"
+            );
         }
         let delta2 = g2.max_degree();
         let used = colors.iter().max().unwrap() + 1;

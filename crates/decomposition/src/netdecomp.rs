@@ -145,7 +145,11 @@ pub fn strong_diameter_decomposition(
 
     NetworkDecomposition {
         k,
-        clusters: ClusterGraph { clusters, cluster_of, colors },
+        clusters: ClusterGraph {
+            clusters,
+            cluster_of,
+            colors,
+        },
         ledger,
     }
 }
@@ -185,9 +189,8 @@ fn grow_ball(
             }
         }
     }
-    let ball_at = |r: usize| -> Vec<NodeId> {
-        order.iter().copied().filter(|v| dist[v.0] <= r).collect()
-    };
+    let ball_at =
+        |r: usize| -> Vec<NodeId> { order.iter().copied().filter(|v| dist[v.0] <= r).collect() };
     // Every eligible node within full-G distance ≤ k of the ball, excluding
     // the ball itself.
     let fence_of = |ball: &[NodeId]| -> Vec<NodeId> {
@@ -314,6 +317,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be at least 1")]
     fn zero_k_panics() {
-        let _ = strong_diameter_decomposition(&generators::path(3), 0, &DecompositionConfig::default());
+        let _ =
+            strong_diameter_decomposition(&generators::path(3), 0, &DecompositionConfig::default());
     }
 }

@@ -72,7 +72,11 @@ pub fn ruling_set(graph: &Graph, candidates: &[NodeId], alpha: usize) -> RulingS
         formulas::cds_clustering_rounds(graph.n()),
         candidates.len() as u64,
     );
-    RulingSet { selected, alpha, ledger }
+    RulingSet {
+        selected,
+        alpha,
+        ledger,
+    }
 }
 
 /// Verifies the ruling-set properties: selected nodes are candidates, pairwise
@@ -99,7 +103,10 @@ pub fn verify_ruling_set(
         let dist = mds_graphs::analysis::bounded_bfs(graph, v, rs.alpha - 1);
         for &u in &rs.selected {
             if u != v && dist[u.0] != usize::MAX {
-                return Err(format!("selected nodes {v} and {u} are at distance < {}", rs.alpha));
+                return Err(format!(
+                    "selected nodes {v} and {u} are at distance < {}",
+                    rs.alpha
+                ));
             }
         }
     }
@@ -115,7 +122,10 @@ pub fn verify_ruling_set(
     }
     for &v in candidates {
         if !covered[v.0] {
-            return Err(format!("candidate {v} has no ruling node within {}", rs.alpha - 1));
+            return Err(format!(
+                "candidate {v} has no ruling node within {}",
+                rs.alpha - 1
+            ));
         }
     }
     Ok(())
@@ -132,7 +142,18 @@ mod tests {
         let candidates: Vec<NodeId> = g.nodes().collect();
         let rs = ruling_set(&g, &candidates, 3);
         verify_ruling_set(&g, &candidates, &rs).unwrap();
-        assert_eq!(rs.selected, vec![NodeId(0), NodeId(3), NodeId(6), NodeId(9), NodeId(12), NodeId(15), NodeId(18)]);
+        assert_eq!(
+            rs.selected,
+            vec![
+                NodeId(0),
+                NodeId(3),
+                NodeId(6),
+                NodeId(9),
+                NodeId(12),
+                NodeId(15),
+                NodeId(18)
+            ]
+        );
     }
 
     #[test]

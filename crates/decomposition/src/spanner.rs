@@ -51,7 +51,11 @@ pub fn default_phases(n: usize) -> usize {
 /// Computes a Baswana–Sen spanner with random cluster sampling.
 pub fn baswana_sen_spanner<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> SpannerResult {
     let mut flip = || rng.gen_bool(0.5);
-    run_spanner(graph, default_phases(graph.n()), Sampling::Random(&mut flip))
+    run_spanner(
+        graph,
+        default_phases(graph.n()),
+        Sampling::Random(&mut flip),
+    )
 }
 
 /// Computes a spanner with the cluster sampling derandomized by conditional
@@ -80,14 +84,19 @@ fn run_spanner(graph: &Graph, phases: usize, mut sampling: Sampling<'_>) -> Span
             break;
         }
         let sampled = match &mut sampling {
-            Sampling::Random(flip) => centers.iter().map(|&c| (c, flip())).collect::<BTreeMap<_, _>>(),
+            Sampling::Random(flip) => centers
+                .iter()
+                .map(|&c| (c, flip()))
+                .collect::<BTreeMap<_, _>>(),
             Sampling::Derandomized => derandomize_phase(graph, &cluster, &centers),
         };
 
         let old_cluster = cluster.clone();
         let mut added_this_phase = 0u64;
         for v in graph.nodes() {
-            let Some(own) = old_cluster[v.0] else { continue };
+            let Some(own) = old_cluster[v.0] else {
+                continue;
+            };
             if *sampled.get(&own).unwrap_or(&false) {
                 continue; // stays in its sampled cluster, no edge needed
             }
@@ -102,7 +111,9 @@ fn run_spanner(graph: &Graph, phases: usize, mut sampling: Sampling<'_>) -> Span
                 }
             }
             // Prefer joining a sampled neighboring cluster.
-            if let Some((&target, &rep)) = reps.iter().find(|(c, _)| *sampled.get(c).unwrap_or(&false)) {
+            if let Some((&target, &rep)) =
+                reps.iter().find(|(c, _)| *sampled.get(c).unwrap_or(&false))
+            {
                 edges.push(norm(v, rep));
                 added_this_phase += 1;
                 cluster[v.0] = Some(target);
@@ -123,7 +134,9 @@ fn run_spanner(graph: &Graph, phases: usize, mut sampling: Sampling<'_>) -> Span
     let old_cluster = cluster.clone();
     let mut final_edges = 0u64;
     for v in graph.nodes() {
-        let Some(own) = old_cluster[v.0] else { continue };
+        let Some(own) = old_cluster[v.0] else {
+            continue;
+        };
         let mut reps: BTreeMap<usize, NodeId> = BTreeMap::new();
         for &u in graph.neighbors(v) {
             if let Some(cu) = old_cluster[u.0] {
@@ -141,7 +154,11 @@ fn run_spanner(graph: &Graph, phases: usize, mut sampling: Sampling<'_>) -> Span
 
     edges.sort_unstable();
     edges.dedup();
-    SpannerResult { edges, phases, ledger }
+    SpannerResult {
+        edges,
+        phases,
+        ledger,
+    }
 }
 
 /// Fixes the sampling coin of every cluster center for one phase such that the
@@ -229,7 +246,10 @@ fn derandomize_phase(
         }
     }
 
-    decision.into_iter().map(|(c, d)| (c, d.unwrap_or(false))).collect()
+    decision
+        .into_iter()
+        .map(|(c, d)| (c, d.unwrap_or(false)))
+        .collect()
 }
 
 /// Verifies that a spanner preserves connectivity component-by-component and
@@ -290,7 +310,12 @@ mod tests {
         let g = generators::complete(60);
         let sp = derandomized_spanner(&g);
         verify_spanner(&g, &sp).unwrap();
-        assert!(sp.edges.len() < g.m() / 4, "{} vs {}", sp.edges.len(), g.m());
+        assert!(
+            sp.edges.len() < g.m() / 4,
+            "{} vs {}",
+            sp.edges.len(),
+            g.m()
+        );
     }
 
     #[test]
@@ -330,6 +355,9 @@ mod tests {
             .map(|_| baswana_sen_spanner(&g, &mut rng).edges.len() as f64)
             .sum::<f64>()
             / trials as f64;
-        assert!(det <= mean * 1.5 + 5.0, "derandomized {det} vs random mean {mean}");
+        assert!(
+            det <= mean * 1.5 + 5.0,
+            "derandomized {det} vs random mean {mean}"
+        );
     }
 }

@@ -17,7 +17,9 @@ pub struct FractionalAssignment {
 impl FractionalAssignment {
     /// The all-zero assignment on `n` nodes.
     pub fn zeros(n: usize) -> Self {
-        FractionalAssignment { values: vec![0.0; n] }
+        FractionalAssignment {
+            values: vec![0.0; n],
+        }
     }
 
     /// Builds an assignment from raw values.
@@ -164,7 +166,10 @@ impl Cfds {
     /// dominating set instance).
     pub fn with_unit_constraints(assignment: FractionalAssignment) -> Self {
         let n = assignment.len();
-        Cfds { assignment, constraints: vec![1.0; n] }
+        Cfds {
+            assignment,
+            constraints: vec![1.0; n],
+        }
     }
 
     /// Creates a CFDS from values and constraints.
@@ -180,7 +185,10 @@ impl Cfds {
                 "constraint {c} of node {i} outside [0, 1]"
             );
         }
-        Cfds { assignment, constraints }
+        Cfds {
+            assignment,
+            constraints,
+        }
     }
 
     /// The size of the CFDS, `Σ_v x(v)`.

@@ -195,7 +195,11 @@ mod tests {
         assert!(out.assignment.is_feasible_dominating_set(&g));
         // The LP optimum is 1; the local algorithm's O(k·Δ̃^{2/k}) guarantee
         // with k = 6 allows roughly 24-48; it must in any case stay far below n.
-        assert!(out.assignment.size() <= 40.0, "size {}", out.assignment.size());
+        assert!(
+            out.assignment.size() <= 40.0,
+            "size {}",
+            out.assignment.size()
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub struct InitialSolution {
 }
 
 /// Computes the initial fractional dominating set of Lemma 2.1.
-pub fn initial_fractional_solution(graph: &Graph, config: &InitialSolutionConfig) -> InitialSolution {
+pub fn initial_fractional_solution(
+    graph: &Graph,
+    config: &InitialSolutionConfig,
+) -> InitialSolution {
     let n = graph.n();
     let delta_tilde = graph.delta_tilde().max(1);
     let epsilon = config.epsilon.max(1e-6);
@@ -97,11 +100,17 @@ pub fn initial_fractional_solution(graph: &Graph, config: &InitialSolutionConfig
                 out.report.rounds,
                 out.report.messages,
             );
-            (out.assignment.values().to_vec(), lp::dual_lower_bound(graph))
+            (
+                out.assignment.values().to_vec(),
+                lp::dual_lower_bound(graph),
+            )
         }
         FractionalMethod::DegreeHeuristic => {
             ledger.charge("part I: degree heuristic", 2, 2 * graph.m() as u64);
-            (lp::degree_heuristic(graph).values().to_vec(), lp::dual_lower_bound(graph))
+            (
+                lp::degree_heuristic(graph).values().to_vec(),
+                lp::dual_lower_bound(graph),
+            )
         }
     };
 
@@ -119,7 +128,12 @@ pub fn initial_fractional_solution(graph: &Graph, config: &InitialSolutionConfig
         assignment = transmittable::round_assignment_up(&assignment, n);
     }
 
-    InitialSolution { assignment, floor, lp_lower_bound: lower_bound, ledger }
+    InitialSolution {
+        assignment,
+        floor,
+        lp_lower_bound: lower_bound,
+        ledger,
+    }
 }
 
 #[cfg(test)]
@@ -163,7 +177,11 @@ mod tests {
             FractionalMethod::Kw05 { k: None },
             FractionalMethod::DegreeHeuristic,
         ] {
-            let cfg = InitialSolutionConfig { epsilon: 0.3, method, make_transmittable: true };
+            let cfg = InitialSolutionConfig {
+                epsilon: 0.3,
+                method,
+                make_transmittable: true,
+            };
             let out = initial_fractional_solution(&g, &cfg);
             assert!(out.assignment.is_feasible_dominating_set(&g));
             assert!(out.lp_lower_bound <= out.assignment.size() + 1e-9);
@@ -176,7 +194,10 @@ mod tests {
         let cfg = InitialSolutionConfig::default();
         let out = initial_fractional_solution(&g, &cfg);
         for &v in out.assignment.values() {
-            assert!(crate::transmittable::is_transmittable(v, g.n()), "{v} not transmittable");
+            assert!(
+                crate::transmittable::is_transmittable(v, g.n()),
+                "{v} not transmittable"
+            );
         }
     }
 
@@ -185,10 +206,17 @@ mod tests {
         let g = generators::star(100);
         let out = initial_fractional_solution(
             &g,
-            &InitialSolutionConfig { epsilon: 0.2, ..InitialSolutionConfig::default() },
+            &InitialSolutionConfig {
+                epsilon: 0.2,
+                ..InitialSolutionConfig::default()
+            },
         );
         // OPT = 1; floor adds at most n·ε/(2Δ̃) = 100·0.1/101 < 0.1.
-        assert!(out.assignment.size() <= 1.5, "size {}", out.assignment.size());
+        assert!(
+            out.assignment.size() <= 1.5,
+            "size {}",
+            out.assignment.size()
+        );
     }
 
     #[test]

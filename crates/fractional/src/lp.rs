@@ -34,7 +34,11 @@ impl LpConfig {
 
     /// Config with a given ε and default iteration counts.
     pub fn with_epsilon(epsilon: f64) -> Self {
-        LpConfig { epsilon, iterations: None, binary_search_steps: 22 }
+        LpConfig {
+            epsilon,
+            iterations: None,
+            binary_search_steps: 22,
+        }
     }
 }
 
@@ -281,7 +285,11 @@ mod tests {
             let lb = dual_lower_bound(&g);
             let sol = solve_fractional_mds(&g, &LpConfig::default());
             assert!(sol.assignment.is_feasible_dominating_set(&g));
-            assert!(lb <= sol.size + 1e-9, "dual {lb} must lower-bound primal {}", sol.size);
+            assert!(
+                lb <= sol.size + 1e-9,
+                "dual {lb} must lower-bound primal {}",
+                sol.size
+            );
         }
     }
 

@@ -49,7 +49,11 @@ pub fn round_assignment_up(
     n: usize,
 ) -> crate::FractionalAssignment {
     crate::FractionalAssignment::from_values(
-        assignment.values().iter().map(|&v| round_up(v, n)).collect(),
+        assignment
+            .values()
+            .iter()
+            .map(|&v| round_up(v, n))
+            .collect(),
     )
 }
 

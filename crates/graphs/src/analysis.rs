@@ -80,7 +80,11 @@ pub fn connected_components(graph: &Graph) -> Components {
         sizes.push(size);
         count += 1;
     }
-    Components { component, count, sizes }
+    Components {
+        component,
+        count,
+        sizes,
+    }
 }
 
 /// Whether the graph is connected (the empty graph counts as connected).
@@ -130,7 +134,12 @@ pub struct DegreeStats {
 pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let n = graph.n();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, histogram: vec![] };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            histogram: vec![],
+        };
     }
     let degrees: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
     let max = *degrees.iter().max().expect("nonempty");

@@ -82,10 +82,12 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
             declared_n = Some(count);
             continue;
         }
-        let u = first.parse::<usize>().map_err(|_| ParseGraphError::MalformedLine {
-            line: line_no,
-            content: raw.to_owned(),
-        })?;
+        let u = first
+            .parse::<usize>()
+            .map_err(|_| ParseGraphError::MalformedLine {
+                line: line_no,
+                content: raw.to_owned(),
+            })?;
         let v = parts
             .next()
             .and_then(|s| s.parse::<usize>().ok())
@@ -95,13 +97,21 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
             })?;
         edges.push((u, v, line_no));
     }
-    let n = declared_n
-        .unwrap_or_else(|| edges.iter().map(|&(u, v, _)| u.max(v) + 1).max().unwrap_or(0));
+    let n = declared_n.unwrap_or_else(|| {
+        edges
+            .iter()
+            .map(|&(u, v, _)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0)
+    });
     let mut builder = GraphBuilder::new(n);
     for (u, v, line) in edges {
         builder
             .add_edge(u, v)
-            .map_err(|e| ParseGraphError::InvalidEdge { line, reason: e.to_string() })?;
+            .map_err(|e| ParseGraphError::InvalidEdge {
+                line,
+                reason: e.to_string(),
+            })?;
     }
     Ok(builder.build())
 }
@@ -144,7 +154,10 @@ mod tests {
     #[test]
     fn malformed_lines_are_reported() {
         let err = from_edge_list("0 x\n").unwrap_err();
-        assert!(matches!(err, ParseGraphError::MalformedLine { line: 1, .. }));
+        assert!(matches!(
+            err,
+            ParseGraphError::MalformedLine { line: 1, .. }
+        ));
         let err = from_edge_list("n\n").unwrap_err();
         assert!(matches!(err, ParseGraphError::MalformedLine { .. }));
     }

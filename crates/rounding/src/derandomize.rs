@@ -110,13 +110,21 @@ pub fn derandomize(problem: &RoundingProblem, config: &DerandomizeConfig) -> Der
             let take = local(&coins);
             coins[i] = CoinState::Zero;
             let zero = local(&coins);
-            coins[i] = if take < zero { CoinState::Take } else { CoinState::Zero };
+            coins[i] = if take < zero {
+                CoinState::Take
+            } else {
+                CoinState::Zero
+            };
             coins_fixed += 1;
         }
     }
 
     let final_estimate = estimator.total(&coins);
-    let RoundedOutcome { output, violated_constraints, .. } = execute_with_coins(problem, &coins);
+    let RoundedOutcome {
+        output,
+        violated_constraints,
+        ..
+    } = execute_with_coins(problem, &coins);
 
     DerandomizedOutcome {
         output,
@@ -168,9 +176,7 @@ mod tests {
         for seed in 0..10 {
             let problem = random_problem(seed, 20);
             let out = derandomize(&problem, &DerandomizeConfig::default());
-            let achieved: f64 = out
-                .violated_constraints
-                .len() as f64
+            let achieved: f64 = out.violated_constraints.len() as f64
                 + problem
                     .values
                     .iter()
@@ -199,7 +205,10 @@ mod tests {
         let groups: Vec<Vec<usize>> = participating.chunks(7).map(|c| c.to_vec()).collect();
         let grouped = derandomize(
             &problem,
-            &DerandomizeConfig { groups: Some(groups), ..DerandomizeConfig::default() },
+            &DerandomizeConfig {
+                groups: Some(groups),
+                ..DerandomizeConfig::default()
+            },
         );
         let ungrouped = derandomize(&problem, &DerandomizeConfig::default());
         assert!(grouped.final_estimate <= grouped.initial_estimate + 1e-9);
@@ -216,7 +225,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let trials = 300;
         let mean: f64 = (0..trials)
-            .map(|_| crate::process::execute_with_rng(&problem, &mut rng).output.size())
+            .map(|_| {
+                crate::process::execute_with_rng(&problem, &mut rng)
+                    .output
+                    .size()
+            })
             .sum::<f64>()
             / trials as f64;
         assert!(

@@ -125,7 +125,10 @@ impl<'a> Estimator<'a> {
             EstimatorKind::ExactDp { resolution } => dp_bound(&undecided, need, resolution),
             EstimatorKind::Chernoff => chernoff_bound(&undecided, need),
             EstimatorKind::Auto { resolution } => {
-                if undecided.iter().all(|&(_, raised)| raised + NEED_TOLERANCE >= need) {
+                if undecided
+                    .iter()
+                    .all(|&(_, raised)| raised + NEED_TOLERANCE >= need)
+                {
                     product_bound(&undecided, need)
                 } else {
                     dp_bound(&undecided, need, resolution)
@@ -248,9 +251,15 @@ mod tests {
         let est = Estimator::new(&problem, EstimatorKind::default());
         let mut coins = vec![CoinState::Undecided; 3];
         coins[0] = CoinState::Take; // contributes 1, constraint satisfied
-        assert_eq!(est.violation_probability(&problem.constraints[0], &coins), 0.0);
+        assert_eq!(
+            est.violation_probability(&problem.constraints[0], &coins),
+            0.0
+        );
         let coins = vec![CoinState::Zero; 3];
-        assert_eq!(est.violation_probability(&problem.constraints[0], &coins), 1.0);
+        assert_eq!(
+            est.violation_probability(&problem.constraints[0], &coins),
+            1.0
+        );
     }
 
     #[test]
@@ -283,14 +292,20 @@ mod tests {
             .violation_probability(&problem.constraints[0], &coins);
         let chern = Estimator::new(&problem, EstimatorKind::Chernoff)
             .violation_probability(&problem.constraints[0], &coins);
-        assert!(chern >= exact - 1e-9, "chernoff {chern} below exact {exact}");
+        assert!(
+            chern >= exact - 1e-9,
+            "chernoff {chern} below exact {exact}"
+        );
         assert!(chern <= 1.0);
         // With a much larger expected surplus the Chernoff bound becomes small.
         let problem = uniform_problem(200, 0.02, 0.5);
         let coins = vec![CoinState::Undecided; 200];
         let chern = Estimator::new(&problem, EstimatorKind::Chernoff)
             .violation_probability(&problem.constraints[0], &coins);
-        assert!(chern < 0.25, "chernoff should detect the large surplus, got {chern}");
+        assert!(
+            chern < 0.25,
+            "chernoff should detect the large surplus, got {chern}"
+        );
     }
 
     #[test]

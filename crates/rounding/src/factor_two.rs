@@ -62,7 +62,12 @@ impl FactorTwoConfig {
     /// A configuration for one doubling step starting from a `1/r`-fractional
     /// input.
     pub fn new(epsilon: f64, r: f64) -> Self {
-        FactorTwoConfig { epsilon, r, split_size: None, concentration_scale: 1.0 }
+        FactorTwoConfig {
+            epsilon,
+            r,
+            split_size: None,
+            concentration_scale: 1.0,
+        }
     }
 }
 
@@ -75,7 +80,11 @@ pub struct FactorTwoRounding {
 
 impl FactorTwoRounding {
     /// Lemma 3.9 instantiation on the graph itself.
-    pub fn on_graph(graph: &Graph, x_prime: &FractionalAssignment, config: &FactorTwoConfig) -> Self {
+    pub fn on_graph(
+        graph: &Graph,
+        x_prime: &FractionalAssignment,
+        config: &FactorTwoConfig,
+    ) -> Self {
         assert_eq!(x_prime.len(), graph.n(), "assignment/graph size mismatch");
         let threshold = 2.0 / config.r.max(2.0);
         let mut problem = RoundingProblem::new(graph.n());
@@ -101,7 +110,11 @@ impl FactorTwoRounding {
         assert_eq!(x_prime.len(), graph.n(), "assignment/graph size mismatch");
         let threshold = 2.0 / config.r.max(2.0);
         let s = config.split_size.unwrap_or_else(|| {
-            paper_split_size(config.epsilon, graph.delta_tilde(), config.concentration_scale)
+            paper_split_size(
+                config.epsilon,
+                graph.delta_tilde(),
+                config.concentration_scale,
+            )
         });
         let mut problem = RoundingProblem::new(graph.n());
         // One value node per original node, exactly as in `on_graph`.
@@ -123,7 +136,11 @@ impl FactorTwoRounding {
                 }
             }
             let constraint_of = |members: &[NodeId]| -> (f64, Vec<usize>) {
-                let c: f64 = members.iter().map(|&u| x_prime.value(u)).sum::<f64>().min(1.0);
+                let c: f64 = members
+                    .iter()
+                    .map(|&u| x_prime.value(u))
+                    .sum::<f64>()
+                    .min(1.0);
                 (c, members.iter().map(|&u| u.0).collect())
             };
             if low.len() < s.max(1) {

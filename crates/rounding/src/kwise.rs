@@ -33,7 +33,9 @@ impl KWiseGenerator {
     /// Builds a generator with independence parameter `k` using `rng` as the
     /// seed source.
     pub fn from_rng<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
-        let coefficients = (0..k.max(1)).map(|_| rng.gen_range(0..FIELD_PRIME)).collect();
+        let coefficients = (0..k.max(1))
+            .map(|_| rng.gen_range(0..FIELD_PRIME))
+            .collect();
         KWiseGenerator { coefficients }
     }
 
@@ -148,7 +150,10 @@ mod tests {
             }
         }
         let freq = hits as f64 / (trials as f64 * points as f64);
-        assert!((freq - prob).abs() < 0.02, "empirical bias {freq} too far from {prob}");
+        assert!(
+            (freq - prob).abs() < 0.02,
+            "empirical bias {freq} too far from {prob}"
+        );
     }
 
     #[test]
@@ -169,7 +174,11 @@ mod tests {
         let pa = a as f64 / trials as f64;
         let pb = b as f64 / trials as f64;
         let pab = ab as f64 / trials as f64;
-        assert!((pab - pa * pb).abs() < 0.05, "joint {pab} vs product {}", pa * pb);
+        assert!(
+            (pab - pa * pb).abs() < 0.05,
+            "joint {pab} vs product {}",
+            pa * pb
+        );
     }
 
     #[test]

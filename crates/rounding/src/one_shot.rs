@@ -115,7 +115,12 @@ impl OneShotRounding {
     /// The maximum constraint degree of the built problem (the `Δ_L` that
     /// drives the coloring cost in Lemma 3.12).
     pub fn max_constraint_degree(&self) -> usize {
-        self.problem.constraints.iter().map(|c| c.members.len()).max().unwrap_or(0)
+        self.problem
+            .constraints
+            .iter()
+            .map(|c| c.members.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -83,7 +83,11 @@ pub struct RoundingProblem {
 impl RoundingProblem {
     /// Creates an empty problem over `n_original` original nodes.
     pub fn new(n_original: usize) -> Self {
-        RoundingProblem { n_original, values: Vec::new(), constraints: Vec::new() }
+        RoundingProblem {
+            n_original,
+            values: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Adds a value node, returning its index.
@@ -96,7 +100,10 @@ impl RoundingProblem {
         assert!(original < self.n_original, "original node out of range");
         assert!((0.0..=1.0).contains(&x), "x must be in [0, 1], got {x}");
         assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
-        assert!(p >= x - 1e-12, "rounding probability p={p} must be at least x={x}");
+        assert!(
+            p >= x - 1e-12,
+            "rounding probability p={p} must be at least x={x}"
+        );
         self.values.push(ValueNode { original, x, p });
         self.values.len() - 1
     }
@@ -109,17 +116,26 @@ impl RoundingProblem {
     /// `original` is out of range.
     pub fn add_constraint(&mut self, original: usize, c: f64, members: Vec<usize>) -> usize {
         assert!(original < self.n_original, "original node out of range");
-        assert!((0.0..=1.0 + 1e-12).contains(&c), "c must be in [0, 1], got {c}");
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&c),
+            "c must be in [0, 1], got {c}"
+        );
         for &m in &members {
             assert!(m < self.values.len(), "member index {m} out of range");
         }
-        self.constraints.push(ConstraintNode { original, c: c.min(1.0), members });
+        self.constraints.push(ConstraintNode {
+            original,
+            c: c.min(1.0),
+            members,
+        });
         self.constraints.len() - 1
     }
 
     /// Indices of the value nodes that flip a coin (`p ∈ (0, 1)`).
     pub fn participating_values(&self) -> Vec<usize> {
-        (0..self.values.len()).filter(|&i| self.values[i].participates()).collect()
+        (0..self.values.len())
+            .filter(|&i| self.values[i].participates())
+            .collect()
     }
 
     /// The size `Σ_v x(v)` of the input assignment (over value nodes).
@@ -192,16 +208,28 @@ mod tests {
 
     #[test]
     fn value_node_derived_quantities() {
-        let v = ValueNode { original: 0, x: 0.2, p: 0.5 };
+        let v = ValueNode {
+            original: 0,
+            x: 0.2,
+            p: 0.5,
+        };
         assert!((v.raised_value() - 0.4).abs() < 1e-12);
         assert!(v.participates());
         assert!((v.expected_value() - 0.2).abs() < 1e-12);
 
-        let fixed = ValueNode { original: 0, x: 0.3, p: 1.0 };
+        let fixed = ValueNode {
+            original: 0,
+            x: 0.3,
+            p: 1.0,
+        };
         assert!(!fixed.participates());
         assert_eq!(fixed.expected_value(), 0.3);
 
-        let zero = ValueNode { original: 0, x: 0.0, p: 0.0 };
+        let zero = ValueNode {
+            original: 0,
+            x: 0.0,
+            p: 0.0,
+        };
         assert_eq!(zero.raised_value(), 0.0);
         assert_eq!(zero.expected_value(), 0.0);
     }

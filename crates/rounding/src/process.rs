@@ -39,7 +39,11 @@ impl RoundedOutcome {
 /// Panics if `coins` has the wrong length or leaves a participating value
 /// node undecided.
 pub fn execute_with_coins(problem: &RoundingProblem, coins: &[CoinState]) -> RoundedOutcome {
-    assert_eq!(coins.len(), problem.values.len(), "one coin state per value node");
+    assert_eq!(
+        coins.len(),
+        problem.values.len(),
+        "one coin state per value node"
+    );
     let realised: Vec<f64> = problem
         .values
         .iter()
@@ -73,7 +77,11 @@ pub fn execute_with_coins(problem: &RoundingProblem, coins: &[CoinState]) -> Rou
         .collect();
 
     let output = problem.assemble_output(&realised, &violated);
-    RoundedOutcome { output, realised_values: realised, violated_constraints: violated }
+    RoundedOutcome {
+        output,
+        realised_values: realised,
+        violated_constraints: violated,
+    }
 }
 
 /// Executes the process with fully independent coins drawn from `rng`.
@@ -92,7 +100,6 @@ pub fn execute_with_rng<R: Rng + ?Sized>(problem: &RoundingProblem, rng: &mut R)
                 CoinState::Undecided
             }
         })
-        .map(|c| c)
         .collect();
     // Non-participating nodes never read their coin; normalise to Zero for
     // cleanliness.
@@ -170,7 +177,10 @@ mod tests {
     #[should_panic(expected = "left undecided")]
     fn undecided_participating_coin_panics() {
         let p = toy_problem();
-        let _ = execute_with_coins(&p, &[CoinState::Undecided, CoinState::Zero, CoinState::Zero]);
+        let _ = execute_with_coins(
+            &p,
+            &[CoinState::Undecided, CoinState::Zero, CoinState::Zero],
+        );
     }
 
     #[test]
@@ -205,13 +215,15 @@ mod tests {
         let mean: f64 = (0..trials)
             .map(|_| {
                 let out = execute_with_rng(&p, &mut rng);
-                out.realised_values.iter().sum::<f64>()
-                    + out.violated_constraints.len() as f64
+                out.realised_values.iter().sum::<f64>() + out.violated_constraints.len() as f64
             })
             .sum::<f64>()
             / trials as f64;
         assert!(mean <= bound + 0.05, "mean {mean} exceeds bound {bound}");
-        assert!(mean >= bound - 0.25, "estimator is unexpectedly loose: {mean} vs {bound}");
+        assert!(
+            mean >= bound - 0.25,
+            "estimator is unexpectedly loose: {mean} vs {bound}"
+        );
     }
 
     #[test]

@@ -21,7 +21,12 @@ use rand::SeedableRng;
 
 fn main() {
     let graph = generators::gnp(120, 0.07, 11);
-    println!("graph: n = {}, m = {}, Δ = {}", graph.n(), graph.m(), graph.max_degree());
+    println!(
+        "graph: n = {}, m = {}, Δ = {}",
+        graph.n(),
+        graph.m(),
+        graph.max_degree()
+    );
 
     // Part I: the (1+ε)-approximate fractional dominating set of Lemma 2.1.
     let initial = initial_fractional_solution(&graph, &InitialSolutionConfig::default());
@@ -60,10 +65,16 @@ fn main() {
     let det = derandomize(&problem, &DerandomizeConfig::default());
     assert!(is_dominating_set(&graph, &det.output.selected_nodes()));
 
-    println!("\nexpectation bound (Lemma 3.1):        {:.2}", det.initial_estimate);
+    println!(
+        "\nexpectation bound (Lemma 3.1):        {:.2}",
+        det.initial_estimate
+    );
     println!("randomized one-shot, mean of {trials}:    {mean:.2} (worst {worst:.0})");
     println!("k-wise independent coins, mean:       {kwise_mean:.2}");
-    println!("derandomized (cond. expectations):    {:.0}", det.output.size());
+    println!(
+        "derandomized (cond. expectations):    {:.0}",
+        det.output.size()
+    );
     println!(
         "\nThe deterministic run never exceeds the expectation bound ({:.2} ≤ {:.2}),",
         det.output.size(),

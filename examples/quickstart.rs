@@ -13,7 +13,13 @@ fn main() {
     // A small Erdős–Rényi network so the exact optimum is still computable.
     let family = GraphFamily::Gnp { n: 60, p: 0.1 };
     let graph = generators::generate(&family, 42);
-    println!("graph: {} ({} nodes, {} edges, Δ = {})", family.label(), graph.n(), graph.m(), graph.max_degree());
+    println!(
+        "graph: {} ({} nodes, {} edges, Δ = {})",
+        family.label(),
+        graph.n(),
+        graph.m(),
+        graph.max_degree()
+    );
 
     // Baselines.
     let greedy = greedy::greedy_mds(&graph);
@@ -70,6 +76,9 @@ fn main() {
     // Per-stage trajectory of the pipeline (experiment E5 in miniature).
     println!("\npipeline trajectory (Theorem 1.1):");
     for stage in &t11.stages {
-        println!("  {:<40} size = {:>8.3}   fractionality = {:.4}", stage.name, stage.size, stage.fractionality);
+        println!(
+            "  {:<40} size = {:>8.3}   fractionality = {:.4}",
+            stage.name, stage.size, stage.fractionality
+        );
     }
 }

@@ -27,7 +27,10 @@ fn families() -> Vec<GraphFamily> {
         GraphFamily::Grid { rows: 7, cols: 8 },
         GraphFamily::RandomTree { n: 50 },
         GraphFamily::Caterpillar { spine: 8, legs: 4 },
-        GraphFamily::UnitDisk { n: 60, radius: 0.25 },
+        GraphFamily::UnitDisk {
+            n: 60,
+            radius: 0.25,
+        },
         GraphFamily::BarabasiAlbert { n: 60, m: 2 },
         GraphFamily::Star { n: 40 },
         GraphFamily::Cycle { n: 45 },
@@ -86,7 +89,10 @@ fn deterministic_results_are_reproducible() {
     let a = theorem_1_1(&graph, &config);
     let b = theorem_1_1(&graph, &config);
     assert_eq!(a.dominating_set, b.dominating_set);
-    assert_eq!(a.ledger.total_formula_rounds(), b.ledger.total_formula_rounds());
+    assert_eq!(
+        a.ledger.total_formula_rounds(),
+        b.ledger.total_formula_rounds()
+    );
     let c = theorem_1_2(&graph, &config);
     let d = theorem_1_2(&graph, &config);
     assert_eq!(c.dominating_set, d.dominating_set);
@@ -111,7 +117,12 @@ fn cds_extension_preserves_domination_and_connectivity() {
             "family {}: CDS invalid",
             family.label()
         );
-        assert!(cds.overhead() <= 5.0, "family {}: overhead {}", family.label(), cds.overhead());
+        assert!(
+            cds.overhead() <= 5.0,
+            "family {}: overhead {}",
+            family.label(),
+            cds.overhead()
+        );
     }
 }
 

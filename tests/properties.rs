@@ -15,9 +15,8 @@ use proptest::prelude::*;
 
 /// Strategy: a random graph described by (n, edge probability numerator, seed).
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (2usize..60, 1u32..30, 0u64..1000).prop_map(|(n, p_num, seed)| {
-        generators::gnp(n, p_num as f64 / 100.0, seed)
-    })
+    (2usize..60, 1u32..30, 0u64..1000)
+        .prop_map(|(n, p_num, seed)| generators::gnp(n, p_num as f64 / 100.0, seed))
 }
 
 proptest! {

@@ -1,0 +1,46 @@
+//! Collection strategies (the `proptest::collection` subset).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate a `Vec` whose length is drawn from `size` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.start..self.size.end);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_length_and_element_ranges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strat = vec(0.0f64..1.0, 1..50);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1..50).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+}

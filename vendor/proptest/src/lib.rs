@@ -1,0 +1,90 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace must build offline, so this crate vendors the slice of the
+//! proptest 1.x API used by `tests/properties.rs`: the [`Strategy`] trait
+//! with [`Strategy::prop_map`], range and tuple strategies,
+//! [`collection::vec`], [`test_runner::ProptestConfig`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case number; re-running
+//!   is deterministic (the RNG is seeded from the test name), so the failure
+//!   reproduces exactly.
+//! * **Deterministic by default.** Upstream proptest randomizes unless given
+//!   a persisted seed; this shim always derives its seed from the test name,
+//!   which suits a reproducibility-first research codebase.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `proptest!`-based test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Run a block of property tests.
+///
+/// Supports the subset of the upstream grammar used here: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn` items whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config($cfg) $($rest)*);
+    };
+    (@with_config($cfg:expr)
+     $(#[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let run = || {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                    };
+                    $crate::test_runner::run_case(stringify!($name), case, run);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Assert a condition inside a `proptest!` test, mirroring upstream's macro.
+///
+/// Without shrinking there is no need to thread `Result`s through the test
+/// body, so this panics like `assert!` (with the same formatting options).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a `proptest!` test, mirroring upstream's macro.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}

@@ -1,0 +1,106 @@
+//! Value-generation strategies (the `proptest::strategy` subset).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream there is no value tree and no shrinking: a strategy simply
+/// samples a value from an RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value (upstream's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A.0);
+impl_strategy_for_tuple!(A.0, B.1);
+impl_strategy_for_tuple!(A.0, B.1, C.2);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_map_compose() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strat =
+            (2usize..60, 1u32..30, 0u64..1000).prop_map(|(n, p, s)| n + p as usize + s as usize);
+        for _ in 0..200 {
+            let v = (2usize..60).sample(&mut rng);
+            assert!((2..60).contains(&v));
+            let _sum = strat.sample(&mut rng);
+            let (a, b) = (0.0f64..1.0, 5i32..6).sample(&mut rng);
+            assert!((0.0..1.0).contains(&a));
+            assert_eq!(b, 5);
+        }
+        assert_eq!(Just(41).sample(&mut rng), 41);
+    }
+}
