@@ -1,0 +1,844 @@
+//! The batched execution engine: drives [`NodeProgram`]s round by round.
+//!
+//! The engine stores in-flight messages in a CSR-indexed, double-buffered
+//! arena: directed edge `(u, v)` owns a fixed slot in a flat `Vec<Option<M>>`,
+//! located inside receiver `v`'s CSR range at the position of `u` in `v`'s
+//! sorted adjacency list. Sending writes through a precomputed mirror index,
+//! delivery is a buffer swap, and inboxes are zero-copy slices sorted by
+//! sender — the steady-state round loop allocates nothing.
+//!
+//! Two deterministic [`Executor`]s drive the loop:
+//!
+//! * [`SyncExecutor`] — runs all nodes on the calling thread.
+//! * [`ParallelExecutor`] — partitions nodes into contiguous blocks executed
+//!   by scoped worker threads, then commits all outboxes *in node order* on
+//!   the calling thread. Outputs, round counts, message counts and per-round
+//!   statistics are bit-identical to sequential execution for any thread
+//!   count.
+//!
+//! Every run produces a [`RunReport`] with per-round [`RoundStats`]; the
+//! report feeds the same [`RoundLedger`] machinery used for closed-form
+//! charging via [`RunReport::charge`] / [`RunReport::charge_with_formula`],
+//! so measured and formula-derived round counts flow through one accounting
+//! path.
+
+use crate::message::MessageSize;
+use crate::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction, INVALID_SLOT};
+use crate::{Graph, NodeId, RoundLedger};
+use std::error::Error;
+use std::fmt;
+use std::thread;
+
+/// Configuration of an [`Executor`] run.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Abort with [`ExecutionError::RoundLimitExceeded`] after this many rounds.
+    pub max_rounds: u64,
+    /// Bandwidth budget per message in bits; `None` selects
+    /// [`crate::congest_bandwidth_bits`] for the graph (CONGEST). Use a huge
+    /// budget to simulate the LOCAL model (all charging is saturating, so
+    /// `usize::MAX` is safe).
+    pub bandwidth_bits: Option<usize>,
+    /// If `true`, a message exceeding the budget aborts the run; if `false`
+    /// the violation is only counted in the report.
+    pub enforce_bandwidth: bool,
+    /// If `true` (the default), the report carries one [`RoundStats`] entry
+    /// per executed round. Disable for very long runs where only totals
+    /// matter.
+    pub record_round_stats: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            max_rounds: 1_000_000,
+            bandwidth_bits: None,
+            enforce_bandwidth: false,
+            record_round_stats: true,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// A configuration for the LOCAL model: unbounded messages. The engine's
+    /// charging path uses saturating arithmetic throughout, so the
+    /// `usize::MAX` budget cannot overflow any accumulator.
+    pub fn local_model() -> Self {
+        ExecutorConfig {
+            bandwidth_bits: Some(usize::MAX),
+            ..ExecutorConfig::default()
+        }
+    }
+
+    /// A strict CONGEST configuration: the default bandwidth is enforced.
+    pub fn strict_congest() -> Self {
+        ExecutorConfig {
+            enforce_bandwidth: true,
+            ..ExecutorConfig::default()
+        }
+    }
+}
+
+/// Per-round instrumentation: what the network did in one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundStats {
+    /// The round the statistics describe (`0` covers `init`).
+    pub round: u64,
+    /// Messages sent during the round.
+    pub messages: u64,
+    /// Total bits sent during the round (saturating).
+    pub bits: u64,
+    /// Number of nodes that have halted by the end of the round.
+    pub halted: usize,
+}
+
+/// Statistics and outputs of a completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport<O> {
+    /// Per-node outputs, indexed by node id.
+    pub outputs: Vec<O>,
+    /// Number of rounds executed until the last node halted.
+    pub rounds: u64,
+    /// Total number of messages sent.
+    pub messages: u64,
+    /// Total bits sent across all messages (saturating).
+    pub total_bits: u64,
+    /// Largest message observed, in bits.
+    pub max_message_bits: usize,
+    /// Number of messages that exceeded the bandwidth budget.
+    pub bandwidth_violations: u64,
+    /// The bandwidth budget the run was charged against.
+    pub bandwidth_bits: usize,
+    /// Per-round statistics (empty if `record_round_stats` was off).
+    pub round_stats: Vec<RoundStats>,
+}
+
+impl<O> RunReport<O> {
+    /// Charges the measured cost of this run to `ledger` as one phase. This
+    /// is the unified instrumentation path: algorithms executed on the
+    /// engine and algorithms charged in closed form land in the same
+    /// [`RoundLedger`] / [`crate::CostReport`].
+    pub fn charge(&self, ledger: &mut RoundLedger, name: &str) {
+        ledger.charge(name, self.rounds, self.messages);
+    }
+
+    /// Charges the measured cost together with the paper's closed-form round
+    /// bound for the phase, so reports can compare measured vs claimed.
+    pub fn charge_with_formula(&self, ledger: &mut RoundLedger, name: &str, formula_rounds: u64) {
+        ledger.charge_with_formula(name, self.rounds, formula_rounds, self.messages);
+    }
+}
+
+/// Errors produced by [`Executor::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// A node addressed a message to a non-neighbor.
+    NotANeighbor {
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// The round limit was reached before all nodes halted.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The number of supplied programs does not match the number of nodes.
+    ProgramCountMismatch {
+        /// Programs supplied.
+        programs: usize,
+        /// Nodes in the graph.
+        nodes: usize,
+    },
+    /// A message exceeded the bandwidth budget while enforcement was enabled.
+    BandwidthExceeded {
+        /// Sender of the offending message.
+        from: NodeId,
+        /// Size of the offending message in bits.
+        bits: usize,
+        /// The configured budget in bits.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionError::NotANeighbor { from, to } => {
+                write!(f, "node {from} attempted to send to non-neighbor {to}")
+            }
+            ExecutionError::RoundLimitExceeded { limit } => {
+                write!(f, "round limit of {limit} exceeded before termination")
+            }
+            ExecutionError::ProgramCountMismatch { programs, nodes } => {
+                write!(f, "{programs} programs supplied for {nodes} nodes")
+            }
+            ExecutionError::BandwidthExceeded { from, bits, budget } => {
+                write!(
+                    f,
+                    "message of {bits} bits from {from} exceeds budget of {budget} bits"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ExecutionError {}
+
+/// A deterministic driver for [`NodeProgram`]s.
+///
+/// All implementations must produce identical [`RunReport`]s for identical
+/// inputs — the choice of executor is purely a wall-clock decision.
+pub trait Executor {
+    /// Runs `programs[v]` on node `v` of `graph` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] if a program misbehaves (sends to a
+    /// non-neighbor, exceeds an enforced bandwidth budget) or if the round
+    /// limit is hit.
+    fn run<P>(
+        &self,
+        graph: &Graph,
+        programs: Vec<P>,
+        config: &ExecutorConfig,
+    ) -> Result<RunReport<P::Output>, ExecutionError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send;
+}
+
+/// The sequential executor: drives all node programs on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncExecutor;
+
+impl Executor for SyncExecutor {
+    fn run<P>(
+        &self,
+        graph: &Graph,
+        programs: Vec<P>,
+        config: &ExecutorConfig,
+    ) -> Result<RunReport<P::Output>, ExecutionError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+    {
+        run_engine(graph, programs, config, 1)
+    }
+}
+
+/// The chunked parallel executor: nodes are partitioned into contiguous
+/// blocks executed by scoped worker threads; outboxes are committed in node
+/// order on the calling thread, so every observable quantity is bit-identical
+/// to [`SyncExecutor`] regardless of thread count.
+///
+/// Workers are (re)spawned per round via [`std::thread::scope`] — the simple
+/// scheme that needs no `unsafe` and no cross-round synchronization. The
+/// spawn cost (tens of microseconds per thread) is amortized only when the
+/// per-round work dominates, i.e. on large graphs; prefer [`SyncExecutor`]
+/// for small `n` or very cheap programs.
+#[derive(Debug, Clone)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor using `threads` worker threads (at least one).
+    pub fn new(threads: usize) -> Self {
+        ParallelExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ParallelExecutor {
+    /// Uses the available hardware parallelism.
+    fn default() -> Self {
+        ParallelExecutor::new(
+            thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl Executor for ParallelExecutor {
+    fn run<P>(
+        &self,
+        graph: &Graph,
+        programs: Vec<P>,
+        config: &ExecutorConfig,
+    ) -> Result<RunReport<P::Output>, ExecutionError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+    {
+        run_engine(graph, programs, config, self.threads)
+    }
+}
+
+/// CSR-indexed, double-buffered per-edge message arena.
+///
+/// Slot `slot_range(v).start + i` holds the message *received by* `v` from
+/// its `i`-th CSR neighbor. `mirror` maps each slot to its reverse-direction
+/// twin, so sender-side writes land directly in the receiver's inbox range.
+struct MessageStore<M> {
+    mirror: Vec<usize>,
+    /// Messages delivered this round (read side).
+    cur: Vec<Option<M>>,
+    /// Messages queued for the next round (write side).
+    next: Vec<Option<M>>,
+}
+
+impl<M> MessageStore<M> {
+    fn new(graph: &Graph) -> Self {
+        let slots = graph.slot_count();
+        let mut mirror = vec![0usize; slots];
+        for v in graph.nodes() {
+            let range = graph.slot_range(v);
+            for (i, &u) in graph.neighbors(v).iter().enumerate() {
+                let j = graph
+                    .neighbor_index(u, v)
+                    .expect("undirected CSR adjacency is symmetric");
+                mirror[range.start + i] = graph.slot_range(u).start + j;
+            }
+        }
+        MessageStore {
+            mirror,
+            cur: std::iter::repeat_with(|| None).take(slots).collect(),
+            next: std::iter::repeat_with(|| None).take(slots).collect(),
+        }
+    }
+
+    /// Makes the queued messages current and empties the write side, without
+    /// allocating.
+    fn advance(&mut self) {
+        for slot in self.cur.iter_mut() {
+            *slot = None;
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+}
+
+/// Running totals for the charging path. All accumulation is saturating so a
+/// LOCAL-model `usize::MAX` budget (or absurdly long runs) cannot overflow.
+#[derive(Default)]
+struct Accounting {
+    messages: u64,
+    bits: u64,
+    max_message_bits: usize,
+    violations: u64,
+}
+
+/// Commits the queued outboxes of all nodes, in node order, into `store.next`,
+/// charging each message. Delivery slots were resolved at send time, so the
+/// hot loop is a straight arena write per message. Returns `(messages, bits)`
+/// sent this round.
+fn commit_round<M: MessageSize>(
+    graph: &Graph,
+    store: &mut MessageStore<M>,
+    pending: &mut [Vec<OutMsg<M>>],
+    acct: &mut Accounting,
+    bandwidth: usize,
+    enforce: bool,
+) -> Result<(u64, u64), ExecutionError> {
+    let mut messages = 0u64;
+    let mut bits_sent = 0u64;
+    for (v, outbox) in pending.iter_mut().enumerate() {
+        let from = NodeId(v);
+        let base = graph.slot_range(from).start;
+        for OutMsg { to, slot: i, msg } in outbox.drain(..) {
+            if i == INVALID_SLOT {
+                return Err(ExecutionError::NotANeighbor { from, to });
+            }
+            let bits = msg.size_bits();
+            acct.max_message_bits = acct.max_message_bits.max(bits);
+            if bits > bandwidth {
+                acct.violations += 1;
+                if enforce {
+                    return Err(ExecutionError::BandwidthExceeded {
+                        from,
+                        bits,
+                        budget: bandwidth,
+                    });
+                }
+            }
+            messages += 1;
+            bits_sent = bits_sent.saturating_add(bits as u64);
+            store.next[store.mirror[base + i]] = Some(msg);
+        }
+    }
+    acct.messages = acct.messages.saturating_add(messages);
+    acct.bits = acct.bits.saturating_add(bits_sent);
+    Ok((messages, bits_sent))
+}
+
+/// Read-only state shared by every block of one round's execute phase.
+struct RoundView<'e, M> {
+    graph: &'e Graph,
+    round: u64,
+    /// The delivered-message arena (the store's read side).
+    cur: &'e [Option<M>],
+}
+
+/// Runs one round of programs for the contiguous node block starting at
+/// `base`. Shared by the sequential path (one block covering everything) and
+/// the worker threads of the parallel path.
+fn execute_block<P: NodeProgram>(
+    view: &RoundView<'_, P::Message>,
+    base: usize,
+    programs: &mut [P],
+    halted: &mut [bool],
+    outputs: &mut [Option<P::Output>],
+    pending: &mut [Vec<OutMsg<P::Message>>],
+) {
+    let graph = view.graph;
+    for i in 0..programs.len() {
+        if halted[i] {
+            continue;
+        }
+        let v = NodeId(base + i);
+        let ctx = NodeContext {
+            id: v,
+            graph,
+            round: view.round,
+        };
+        let inbox = Inbox::over(graph.neighbors(v), &view.cur[graph.slot_range(v)]);
+        pending[i].clear();
+        let mut outbox = Outbox::over(graph.neighbors(v), &mut pending[i]);
+        match programs[i].round(&ctx, &inbox, &mut outbox) {
+            RoundAction::Continue => {}
+            RoundAction::Halt(out) => {
+                outputs[i] = Some(out);
+                halted[i] = true;
+                pending[i].clear();
+            }
+        }
+    }
+}
+
+fn run_engine<P>(
+    graph: &Graph,
+    mut programs: Vec<P>,
+    config: &ExecutorConfig,
+    threads: usize,
+) -> Result<RunReport<P::Output>, ExecutionError>
+where
+    P: NodeProgram + Send,
+    P::Message: Send + Sync,
+    P::Output: Send,
+{
+    let n = graph.n();
+    if programs.len() != n {
+        return Err(ExecutionError::ProgramCountMismatch {
+            programs: programs.len(),
+            nodes: n,
+        });
+    }
+    let bandwidth = config
+        .bandwidth_bits
+        .unwrap_or_else(|| crate::congest_bandwidth_bits(n));
+    let threads = threads.max(1);
+
+    let mut store: MessageStore<P::Message> = MessageStore::new(graph);
+    let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut halted = vec![false; n];
+    let mut pending: Vec<Vec<OutMsg<P::Message>>> =
+        std::iter::repeat_with(Vec::new).take(n).collect();
+    let mut acct = Accounting::default();
+    let mut round_stats = Vec::new();
+
+    // Round 0: init.
+    for (v, program) in programs.iter_mut().enumerate() {
+        let ctx = NodeContext {
+            id: NodeId(v),
+            graph,
+            round: 0,
+        };
+        let mut outbox = Outbox::over(graph.neighbors(NodeId(v)), &mut pending[v]);
+        program.init(&ctx, &mut outbox);
+    }
+    let (messages, bits) = commit_round(
+        graph,
+        &mut store,
+        &mut pending,
+        &mut acct,
+        bandwidth,
+        config.enforce_bandwidth,
+    )?;
+    if config.record_round_stats {
+        round_stats.push(RoundStats {
+            round: 0,
+            messages,
+            bits,
+            halted: 0,
+        });
+    }
+
+    let mut round = 0u64;
+    loop {
+        store.advance();
+        if halted.iter().all(|&h| h) {
+            break;
+        }
+        round += 1;
+        if round > config.max_rounds {
+            return Err(ExecutionError::RoundLimitExceeded {
+                limit: config.max_rounds,
+            });
+        }
+
+        // Execute phase: run every live node's program against its inbox.
+        let view = RoundView {
+            graph,
+            round,
+            cur: &store.cur,
+        };
+        if threads == 1 || n <= 1 {
+            execute_block(
+                &view,
+                0,
+                &mut programs,
+                &mut halted,
+                &mut outputs,
+                &mut pending,
+            );
+        } else {
+            let chunk = n.div_ceil(threads).max(1);
+            let view = &view;
+            thread::scope(|s| {
+                let blocks = programs
+                    .chunks_mut(chunk)
+                    .zip(halted.chunks_mut(chunk))
+                    .zip(outputs.chunks_mut(chunk))
+                    .zip(pending.chunks_mut(chunk))
+                    .enumerate();
+                for (b, (((progs, halts), outs), pends)) in blocks {
+                    s.spawn(move || {
+                        execute_block(view, b * chunk, progs, halts, outs, pends);
+                    });
+                }
+            });
+        }
+
+        // Commit phase: merge all outboxes in node order (single thread), so
+        // charging order and first-error behavior match sequential execution.
+        let (messages, bits) = commit_round(
+            graph,
+            &mut store,
+            &mut pending,
+            &mut acct,
+            bandwidth,
+            config.enforce_bandwidth,
+        )?;
+        if config.record_round_stats {
+            round_stats.push(RoundStats {
+                round,
+                messages,
+                bits,
+                halted: halted.iter().filter(|&&h| h).count(),
+            });
+        }
+    }
+
+    Ok(RunReport {
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("halted node has output"))
+            .collect(),
+        rounds: round,
+        messages: acct.messages,
+        total_bits: acct.bits,
+        max_message_bits: acct.max_message_bits,
+        bandwidth_violations: acct.violations,
+        bandwidth_bits: bandwidth,
+        round_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Inbox, NodeContext, Outbox, RoundAction};
+
+    /// Every node floods its identifier for `k` rounds and outputs the
+    /// smallest identifier it has heard of — after `diameter` rounds every
+    /// node knows the global minimum.
+    struct MinId {
+        best: usize,
+        rounds: u64,
+    }
+
+    impl NodeProgram for MinId {
+        type Message = NodeId;
+        type Output = usize;
+
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, NodeId>) {
+            self.best = ctx.id.0;
+            outbox.broadcast(NodeId(self.best));
+        }
+
+        fn round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &Inbox<'_, NodeId>,
+            outbox: &mut Outbox<'_, NodeId>,
+        ) -> RoundAction<usize> {
+            for (_, m) in inbox.iter() {
+                self.best = self.best.min(m.0);
+            }
+            if ctx.round >= self.rounds {
+                RoundAction::Halt(self.best)
+            } else {
+                outbox.broadcast(NodeId(self.best));
+                RoundAction::Continue
+            }
+        }
+    }
+
+    fn min_id_programs(n: usize, rounds: u64) -> Vec<MinId> {
+        (0..n)
+            .map(|_| MinId {
+                best: usize::MAX,
+                rounds,
+            })
+            .collect()
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn min_id_flood_converges_on_a_path() {
+        let g = path_graph(6);
+        let report = SyncExecutor
+            .run(&g, min_id_programs(6, 6), &ExecutorConfig::default())
+            .unwrap();
+        assert!(report.outputs.iter().all(|&o| o == 0));
+        assert_eq!(report.rounds, 6);
+        assert!(report.messages > 0);
+        assert!(report.max_message_bits <= report.bandwidth_bits);
+        assert_eq!(report.bandwidth_violations, 0);
+        // init + 6 executed rounds of statistics.
+        assert_eq!(report.round_stats.len(), 7);
+        assert_eq!(report.round_stats[0].round, 0);
+        assert_eq!(
+            report.round_stats.iter().map(|r| r.messages).sum::<u64>(),
+            report.messages
+        );
+        assert_eq!(report.round_stats.last().unwrap().halted, 6);
+        assert!(report.total_bits > 0);
+    }
+
+    #[test]
+    fn too_few_rounds_does_not_converge() {
+        let g = path_graph(8);
+        let report = SyncExecutor
+            .run(&g, min_id_programs(8, 2), &ExecutorConfig::default())
+            .unwrap();
+        // Node 7 is at distance 7 from node 0; after 2 rounds it cannot know 0.
+        assert_ne!(report.outputs[7], 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let g = path_graph(17);
+        let seq = SyncExecutor
+            .run(&g, min_id_programs(17, 20), &ExecutorConfig::default())
+            .unwrap();
+        for threads in [1usize, 2, 3, 5, 16, 64] {
+            let par = ParallelExecutor::new(threads)
+                .run(&g, min_id_programs(17, 20), &ExecutorConfig::default())
+                .unwrap();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn program_count_mismatch_is_an_error() {
+        let g = path_graph(3);
+        let programs: Vec<MinId> = vec![];
+        let err = SyncExecutor
+            .run(&g, programs, &ExecutorConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ExecutionError::ProgramCountMismatch { .. }));
+    }
+
+    struct BadSender;
+    impl NodeProgram for BadSender {
+        type Message = usize;
+        type Output = ();
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, usize>) {
+            if ctx.id.0 == 0 {
+                // Node 2 is not a neighbor of node 0 on a path.
+                outbox.send(NodeId(2), 1);
+            }
+        }
+        fn round(
+            &mut self,
+            _: &NodeContext<'_>,
+            _: &Inbox<'_, usize>,
+            _: &mut Outbox<'_, usize>,
+        ) -> RoundAction<()> {
+            RoundAction::Halt(())
+        }
+    }
+
+    #[test]
+    fn sending_to_non_neighbor_is_an_error() {
+        let g = path_graph(3);
+        let programs: Vec<_> = (0..3).map(|_| BadSender).collect();
+        let seq = SyncExecutor
+            .run(&g, programs, &ExecutorConfig::default())
+            .unwrap_err();
+        assert!(matches!(seq, ExecutionError::NotANeighbor { .. }));
+        let programs: Vec<_> = (0..3).map(|_| BadSender).collect();
+        let par = ParallelExecutor::new(4)
+            .run(&g, programs, &ExecutorConfig::default())
+            .unwrap_err();
+        assert_eq!(seq, par, "executors agree on the first error");
+    }
+
+    struct NeverHalts;
+    impl NodeProgram for NeverHalts {
+        type Message = ();
+        type Output = ();
+        fn init(&mut self, _: &NodeContext<'_>, _: &mut Outbox<'_, ()>) {}
+        fn round(
+            &mut self,
+            _: &NodeContext<'_>,
+            _: &Inbox<'_, ()>,
+            _: &mut Outbox<'_, ()>,
+        ) -> RoundAction<()> {
+            RoundAction::Continue
+        }
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = path_graph(2);
+        let programs: Vec<_> = (0..2).map(|_| NeverHalts).collect();
+        let config = ExecutorConfig {
+            max_rounds: 10,
+            ..ExecutorConfig::default()
+        };
+        let err = SyncExecutor.run(&g, programs, &config).unwrap_err();
+        assert_eq!(err, ExecutionError::RoundLimitExceeded { limit: 10 });
+    }
+
+    struct FatMessage;
+    impl NodeProgram for FatMessage {
+        type Message = Vec<u64>;
+        type Output = ();
+        fn init(&mut self, _: &NodeContext<'_>, outbox: &mut Outbox<'_, Vec<u64>>) {
+            outbox.broadcast(vec![0u64; 64]);
+        }
+        fn round(
+            &mut self,
+            _: &NodeContext<'_>,
+            _: &Inbox<'_, Vec<u64>>,
+            _: &mut Outbox<'_, Vec<u64>>,
+        ) -> RoundAction<()> {
+            RoundAction::Halt(())
+        }
+    }
+
+    #[test]
+    fn bandwidth_violations_counted_and_enforced() {
+        let g = path_graph(2);
+        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
+        let report = SyncExecutor
+            .run(&g, programs, &ExecutorConfig::default())
+            .unwrap();
+        assert!(report.bandwidth_violations > 0);
+
+        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
+        let err = SyncExecutor
+            .run(&g, programs, &ExecutorConfig::strict_congest())
+            .unwrap_err();
+        assert!(matches!(err, ExecutionError::BandwidthExceeded { .. }));
+
+        // The same messages are fine in the LOCAL model, and the saturating
+        // charging path digests the usize::MAX budget without overflow.
+        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
+        let report = SyncExecutor
+            .run(&g, programs, &ExecutorConfig::local_model())
+            .unwrap();
+        assert_eq!(report.bandwidth_violations, 0);
+        assert_eq!(report.bandwidth_bits, usize::MAX);
+        assert!(report.total_bits > 0);
+    }
+
+    /// Sends twice to the same neighbor in one round: the engine charges both
+    /// but delivers only the last (one message per edge per round).
+    struct DoubleSender {
+        heard: Option<u32>,
+    }
+    impl NodeProgram for DoubleSender {
+        type Message = u32;
+        type Output = Option<u32>;
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, u32>) {
+            if ctx.id.0 == 0 {
+                outbox.send(NodeId(1), 7);
+                outbox.send(NodeId(1), 9);
+            }
+        }
+        fn round(
+            &mut self,
+            _: &NodeContext<'_>,
+            inbox: &Inbox<'_, u32>,
+            _: &mut Outbox<'_, u32>,
+        ) -> RoundAction<Option<u32>> {
+            if let Some(&m) = inbox.from(NodeId(0)) {
+                self.heard = Some(m);
+            }
+            RoundAction::Halt(self.heard)
+        }
+    }
+
+    #[test]
+    fn duplicate_sends_keep_the_last_message() {
+        let g = path_graph(2);
+        let programs: Vec<_> = (0..2).map(|_| DoubleSender { heard: None }).collect();
+        let report = SyncExecutor
+            .run(&g, programs, &ExecutorConfig::default())
+            .unwrap();
+        assert_eq!(report.outputs[1], Some(9));
+        assert_eq!(report.messages, 2, "both sends are charged");
+    }
+
+    #[test]
+    fn empty_graph_runs_zero_rounds() {
+        let g = Graph::empty(0);
+        let report = SyncExecutor
+            .run(&g, Vec::<MinId>::new(), &ExecutorConfig::default())
+            .unwrap();
+        assert_eq!(report.rounds, 0);
+        assert!(report.outputs.is_empty());
+    }
+
+    #[test]
+    fn report_charges_ledger_through_unified_path() {
+        let g = path_graph(5);
+        let report = SyncExecutor
+            .run(&g, min_id_programs(5, 5), &ExecutorConfig::default())
+            .unwrap();
+        let mut ledger = RoundLedger::new();
+        report.charge(&mut ledger, "min-id flood");
+        report.charge_with_formula(&mut ledger, "min-id flood vs diameter bound", 5);
+        assert_eq!(ledger.total_simulated_rounds(), 2 * report.rounds);
+        assert_eq!(ledger.total_messages(), 2 * report.messages);
+        assert_eq!(ledger.phases()[1].formula_rounds, Some(5));
+    }
+}

@@ -138,6 +138,23 @@ impl Graph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// The range of CSR slots belonging to `v`'s adjacency list. Used by the
+    /// execution engine to index per-edge message arenas.
+    pub(crate) fn slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v.0]..self.offsets[v.0 + 1]
+    }
+
+    /// Position of `u` within `v`'s sorted adjacency list, if `{v, u}` is an
+    /// edge. `O(log deg(v))`.
+    pub(crate) fn neighbor_index(&self, v: NodeId, u: NodeId) -> Option<usize> {
+        self.neighbors(v).binary_search(&u).ok()
+    }
+
+    /// Total number of directed adjacency slots (`2m`).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
     /// Iterator over all nodes.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.n()).map(NodeId)

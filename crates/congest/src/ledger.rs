@@ -220,6 +220,37 @@ pub mod formulas {
         (log_n * log_n * log_n).ceil() as u64
     }
 
+    /// `2k²` — the exact round count of the [KW05] local fractional
+    /// algorithm as implemented (`k²` phases of a value/covered message
+    /// exchange pair). The paper states `O(k²)`.
+    pub fn kw05_rounds(k: usize) -> u64 {
+        2 * (k.max(1) as u64).pow(2)
+    }
+
+    /// `4P + 1` — the exact round count of the distributed span-greedy
+    /// baseline after `P` selection phases: each phase spends four rounds
+    /// (covered-bits, spans, distance-two maxima, join announcements) and
+    /// one final round lets every node observe that its closed neighborhood
+    /// is covered. The selection rule guarantees `P ≤ n`, matching the
+    /// classical `(1 + ln Δ̃)` greedy analysis phase by phase.
+    pub fn greedy_span_rounds(phases: u64) -> u64 {
+        4 * phases + 1
+    }
+
+    /// `2(α−1)P + (α−1)` — the exact round count of the distributed
+    /// `(α, α−1)`-ruling set after `P` phases: each phase floods candidate
+    /// identifiers for `α−1` rounds and blocking notices for another `α−1`,
+    /// and one trailing select-flood lets every node observe quiescence.
+    /// `α = 1` selects all candidates in a single round.
+    pub fn ruling_set_phase_rounds(phases: u64, alpha: usize) -> u64 {
+        if alpha <= 1 {
+            1
+        } else {
+            let hops = alpha as u64 - 1;
+            2 * hops * phases + hops
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -246,6 +277,17 @@ pub mod formulas {
         fn kmw_rounds_scale_with_epsilon() {
             assert!(kmw_fractional_rounds(64, 0.1) > kmw_fractional_rounds(64, 0.5));
             assert!(kmw_fractional_rounds(1024, 0.5) > kmw_fractional_rounds(4, 0.5));
+        }
+
+        #[test]
+        fn measured_round_formulas() {
+            assert_eq!(kw05_rounds(3), 18);
+            assert_eq!(kw05_rounds(0), 2);
+            assert_eq!(greedy_span_rounds(0), 1);
+            assert_eq!(greedy_span_rounds(4), 17);
+            assert_eq!(ruling_set_phase_rounds(7, 3), 30);
+            assert_eq!(ruling_set_phase_rounds(0, 3), 2);
+            assert_eq!(ruling_set_phase_rounds(5, 1), 1);
         }
 
         #[test]

@@ -5,20 +5,27 @@
 //! reproduction of *Deurer, Kuhn, Maus — "Deterministic Distributed Dominating
 //! Set Approximation in the CONGEST Model" (PODC 2019)*.
 //!
-//! The crate provides three layers:
+//! The crate provides four layers:
 //!
 //! * [`Graph`] — a compact, immutable undirected network topology (CSR
 //!   adjacency) on which all algorithms in the workspace operate.
-//! * [`program::NodeProgram`] and [`program::SyncExecutor`] — a strict
-//!   message-passing execution engine: every node runs the same state machine,
-//!   rounds are synchronous, and every message is charged against the CONGEST
-//!   bandwidth budget of `O(log n)` bits.
+//! * [`program::NodeProgram`] — the programming model: every node runs the
+//!   same state machine, rounds are synchronous, messages arrive in a
+//!   zero-copy [`program::Inbox`] sorted by sender and leave through a
+//!   reusable [`program::Outbox`].
+//! * [`engine`] — the execution engine: a CSR-indexed, double-buffered
+//!   message arena driven by deterministic [`engine::Executor`]s
+//!   ([`engine::SyncExecutor`] and the chunked, bit-identical
+//!   [`engine::ParallelExecutor`]), charging every message against the
+//!   CONGEST bandwidth budget of `O(log n)` bits and recording per-round
+//!   [`engine::RoundStats`].
 //! * [`ledger::RoundLedger`] — round/message accounting for *composite*
 //!   algorithms whose communication pattern is specified by the paper through
 //!   well-defined primitives (e.g. "aggregate a sum along a cluster tree of
 //!   depth `d` costs `O(d)` rounds"). The ledger records both the simulated
 //!   cost and the closed-form cost stated in the paper, so experiments can
-//!   report either.
+//!   report either; measured engine runs feed the same ledger through
+//!   [`engine::RunReport::charge`].
 //!
 //! # Example
 //!
@@ -36,20 +43,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 mod error;
 mod graph;
 pub mod ledger;
 pub mod message;
 pub mod program;
 
+pub use engine::{
+    ExecutionError, Executor, ExecutorConfig, ParallelExecutor, RoundStats, RunReport, SyncExecutor,
+};
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use ledger::{CostReport, PhaseCost, RoundLedger};
 pub use message::MessageSize;
-pub use program::{
-    ExecutionError, ExecutorConfig, Inbox, NodeContext, NodeProgram, RoundAction, RunReport,
-    SyncExecutor,
-};
+pub use program::{Inbox, NodeContext, NodeProgram, Outbox, RoundAction};
 
 /// The size, in bits, of the canonical CONGEST message budget for an `n`-node
 /// network: `ceil(log2 n)` multiplied by a small constant factor.

@@ -11,6 +11,14 @@ pub trait MessageSize {
     fn size_bits(&self) -> usize;
 }
 
+/// Width of the minimal binary encoding of `x`, in bits (at least 1).
+///
+/// The shared building block for [`MessageSize`] implementations that charge
+/// log-sized payloads (identifiers, spans, hop counters).
+pub fn bit_width(x: u64) -> usize {
+    (u64::BITS - x.max(1).leading_zeros()) as usize
+}
+
 impl MessageSize for () {
     fn size_bits(&self) -> usize {
         1
@@ -111,6 +119,14 @@ mod tests {
         assert_eq!(Some(3u8).size_bits(), 9);
         assert_eq!(None::<u8>.size_bits(), 1);
         assert_eq!(vec![1u8, 2u8].size_bits(), 32 + 16);
+    }
+
+    #[test]
+    fn bit_width_values() {
+        assert_eq!(bit_width(0), 1);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(255), 8);
+        assert_eq!(bit_width(256), 9);
     }
 
     #[test]

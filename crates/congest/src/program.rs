@@ -1,14 +1,13 @@
-//! Strict round-synchronous message-passing execution.
+//! The CONGEST programming model: per-node state machines.
 //!
 //! Algorithms implemented against [`NodeProgram`] run exactly as the CONGEST
 //! model prescribes: in every round each node may send one message to each of
 //! its neighbors, all messages are delivered at the beginning of the next
-//! round, and each message is charged against the bandwidth budget.
+//! round, and each message is charged against the bandwidth budget. The
+//! executors that drive programs live in [`crate::engine`].
 
 use crate::message::MessageSize;
 use crate::{Graph, NodeId};
-use std::error::Error;
-use std::fmt;
 
 /// Read-only view of a node's environment handed to the node program.
 #[derive(Debug, Clone, Copy)]
@@ -48,54 +47,139 @@ impl<'a> NodeContext<'a> {
 }
 
 /// Messages received by a node at the start of a round, tagged by sender.
-#[derive(Debug, Clone)]
-pub struct Inbox<M> {
-    messages: Vec<(NodeId, M)>,
+///
+/// An inbox is a zero-copy view into the engine's per-edge message arena:
+/// slot `i` corresponds to the node's `i`-th CSR neighbor, so the senders are
+/// sorted and [`Inbox::from`] is an `O(log deg)` binary search (at most one
+/// message per neighbor per round — the CONGEST contract).
+#[derive(Debug, Clone, Copy)]
+pub struct Inbox<'a, M> {
+    senders: &'a [NodeId],
+    slots: &'a [Option<M>],
 }
 
-impl<M> Inbox<M> {
-    fn new() -> Self {
-        Inbox {
-            messages: Vec::new(),
-        }
+impl<'a, M> Inbox<'a, M> {
+    /// Builds the view over a node's (sorted) neighbor slice and the matching
+    /// arena slots. Used by the engine and by tests.
+    pub(crate) fn over(senders: &'a [NodeId], slots: &'a [Option<M>]) -> Self {
+        debug_assert_eq!(senders.len(), slots.len());
+        Inbox { senders, slots }
     }
 
-    /// Iterates over `(sender, message)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = &(NodeId, M)> {
-        self.messages.iter()
-    }
-
-    /// The message received from `sender`, if any.
-    pub fn from(&self, sender: NodeId) -> Option<&M> {
-        self.messages
+    /// Iterates over `(sender, message)` pairs, in increasing sender order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &'a M)> + '_ {
+        self.senders
             .iter()
-            .find(|(s, _)| *s == sender)
-            .map(|(_, m)| m)
+            .zip(self.slots.iter())
+            .filter_map(|(&s, m)| m.as_ref().map(|m| (s, m)))
     }
 
-    /// Number of messages received this round.
+    /// Iterates over every neighbor slot — `(neighbor, received message)` —
+    /// whether or not the neighbor sent this round. Slot `i` is the `i`-th
+    /// CSR neighbor, which lets programs keep per-neighbor state in a dense
+    /// vector indexed by neighbor position.
+    pub fn iter_slots(&self) -> impl Iterator<Item = (NodeId, Option<&'a M>)> + '_ {
+        self.senders
+            .iter()
+            .zip(self.slots.iter())
+            .map(|(&s, m)| (s, m.as_ref()))
+    }
+
+    /// The message received from `sender`, if any. `O(log deg)`.
+    pub fn from(&self, sender: NodeId) -> Option<&'a M> {
+        let idx = self.senders.binary_search(&sender).ok()?;
+        self.slots[idx].as_ref()
+    }
+
+    /// Number of messages received this round (`O(deg)`).
     pub fn len(&self) -> usize {
-        self.messages.len()
+        self.slots.iter().filter(|m| m.is_some()).count()
     }
 
     /// Whether no messages were received this round.
     pub fn is_empty(&self) -> bool {
-        self.messages.is_empty()
+        self.slots.iter().all(|m| m.is_none())
+    }
+}
+
+/// A queued outgoing message: the target, its position in the sender's CSR
+/// neighbor list (resolved at send time; [`INVALID_SLOT`] if the target is
+/// not a neighbor) and the payload.
+#[derive(Debug, Clone)]
+pub(crate) struct OutMsg<M> {
+    pub(crate) to: NodeId,
+    pub(crate) slot: usize,
+    pub(crate) msg: M,
+}
+
+/// Sentinel slot for a send to a non-neighbor; the engine turns it into
+/// [`crate::engine::ExecutionError::NotANeighbor`] when the round commits.
+pub(crate) const INVALID_SLOT: usize = usize::MAX;
+
+/// Staging area for the messages a node sends at the end of a round.
+///
+/// The buffer behind an outbox is owned by the engine and reused across
+/// rounds, so the steady-state round loop performs no allocation.
+/// [`Outbox::broadcast`] enumerates the CSR neighbor list directly, so
+/// broadcast messages carry their delivery slot for free; explicit
+/// [`Outbox::send`]s resolve it with one `O(log deg)` search. Sending twice
+/// to the same neighbor in one round is allowed; the engine keeps the *last*
+/// message (one message per edge per round, as CONGEST prescribes).
+#[derive(Debug)]
+pub struct Outbox<'a, M> {
+    neighbors: &'a [NodeId],
+    buf: &'a mut Vec<OutMsg<M>>,
+}
+
+impl<'a, M> Outbox<'a, M> {
+    /// Wraps a reusable buffer for the node whose neighbor list is given.
+    pub(crate) fn over(neighbors: &'a [NodeId], buf: &'a mut Vec<OutMsg<M>>) -> Self {
+        Outbox { neighbors, buf }
+    }
+
+    /// Queues a message to `to`. The engine reports an error for a `to` that
+    /// is not a neighbor when the round is committed.
+    pub fn send(&mut self, to: NodeId, message: M) {
+        let slot = self.neighbors.binary_search(&to).unwrap_or(INVALID_SLOT);
+        self.buf.push(OutMsg {
+            to,
+            slot,
+            msg: message,
+        });
+    }
+
+    /// Queues a copy of `message` to every neighbor.
+    pub fn broadcast(&mut self, message: M)
+    where
+        M: Clone,
+    {
+        for (slot, &u) in self.neighbors.iter().enumerate() {
+            self.buf.push(OutMsg {
+                to: u,
+                slot,
+                msg: message.clone(),
+            });
+        }
+    }
+
+    /// Number of messages queued so far this round.
+    pub fn queued(&self) -> usize {
+        self.buf.len()
     }
 }
 
 /// The decision a node takes at the end of a round.
 #[derive(Debug, Clone)]
-pub enum RoundAction<M, O> {
-    /// Keep running and send the given messages (each addressed to a
-    /// neighbor) at the end of this round.
-    Continue(Vec<(NodeId, M)>),
+pub enum RoundAction<O> {
+    /// Keep running; the messages queued in the [`Outbox`] are sent at the
+    /// end of this round.
+    Continue,
     /// Terminate locally with the given output. A halted node sends no
-    /// further messages and ignores incoming ones.
+    /// further messages (its outbox is discarded) and ignores incoming ones.
     Halt(O),
 }
 
-/// A per-node state machine executed by [`SyncExecutor`].
+/// A per-node state machine executed by an [`crate::engine::Executor`].
 ///
 /// All nodes run the same program type but each node owns its own instance
 /// (and therefore its own local state).
@@ -105,436 +189,65 @@ pub trait NodeProgram {
     /// Local output produced when the node halts.
     type Output: Clone;
 
-    /// Called once before the first round; returns the messages to send in
-    /// round 1.
-    fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, Self::Message)>;
+    /// Called once before the first round; messages queued in `outbox` are
+    /// delivered in round 1.
+    fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, Self::Message>);
 
     /// Called once per round with the messages received in that round.
     fn round(
         &mut self,
         ctx: &NodeContext<'_>,
-        inbox: &Inbox<Self::Message>,
-    ) -> RoundAction<Self::Message, Self::Output>;
-}
-
-/// Configuration of a [`SyncExecutor`] run.
-#[derive(Debug, Clone)]
-pub struct ExecutorConfig {
-    /// Abort with [`ExecutionError::RoundLimitExceeded`] after this many rounds.
-    pub max_rounds: u64,
-    /// Bandwidth budget per message in bits; `None` selects
-    /// [`crate::congest_bandwidth_bits`] for the graph (CONGEST). Use a huge
-    /// budget to simulate the LOCAL model.
-    pub bandwidth_bits: Option<usize>,
-    /// If `true`, a message exceeding the budget aborts the run; if `false`
-    /// the violation is only counted in the report.
-    pub enforce_bandwidth: bool,
-}
-
-impl Default for ExecutorConfig {
-    fn default() -> Self {
-        ExecutorConfig {
-            max_rounds: 1_000_000,
-            bandwidth_bits: None,
-            enforce_bandwidth: false,
-        }
-    }
-}
-
-impl ExecutorConfig {
-    /// A configuration for the LOCAL model: unbounded messages.
-    pub fn local_model() -> Self {
-        ExecutorConfig {
-            bandwidth_bits: Some(usize::MAX),
-            ..ExecutorConfig::default()
-        }
-    }
-
-    /// A strict CONGEST configuration: the default bandwidth is enforced.
-    pub fn strict_congest() -> Self {
-        ExecutorConfig {
-            enforce_bandwidth: true,
-            ..ExecutorConfig::default()
-        }
-    }
-}
-
-/// Statistics and outputs of a completed run.
-#[derive(Debug, Clone)]
-pub struct RunReport<O> {
-    /// Per-node outputs, indexed by node id.
-    pub outputs: Vec<O>,
-    /// Number of rounds executed until the last node halted.
-    pub rounds: u64,
-    /// Total number of messages delivered.
-    pub messages: u64,
-    /// Largest message observed, in bits.
-    pub max_message_bits: usize,
-    /// Number of messages that exceeded the bandwidth budget.
-    pub bandwidth_violations: u64,
-    /// The bandwidth budget the run was charged against.
-    pub bandwidth_bits: usize,
-}
-
-/// Errors produced by [`SyncExecutor::run`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExecutionError {
-    /// A node addressed a message to a non-neighbor.
-    NotANeighbor {
-        /// Sender.
-        from: NodeId,
-        /// Intended recipient.
-        to: NodeId,
-    },
-    /// The round limit was reached before all nodes halted.
-    RoundLimitExceeded {
-        /// The configured limit.
-        limit: u64,
-    },
-    /// The number of supplied programs does not match the number of nodes.
-    ProgramCountMismatch {
-        /// Programs supplied.
-        programs: usize,
-        /// Nodes in the graph.
-        nodes: usize,
-    },
-    /// A message exceeded the bandwidth budget while enforcement was enabled.
-    BandwidthExceeded {
-        /// Sender of the offending message.
-        from: NodeId,
-        /// Size of the offending message in bits.
-        bits: usize,
-        /// The configured budget in bits.
-        budget: usize,
-    },
-}
-
-impl fmt::Display for ExecutionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExecutionError::NotANeighbor { from, to } => {
-                write!(f, "node {from} attempted to send to non-neighbor {to}")
-            }
-            ExecutionError::RoundLimitExceeded { limit } => {
-                write!(f, "round limit of {limit} exceeded before termination")
-            }
-            ExecutionError::ProgramCountMismatch { programs, nodes } => {
-                write!(f, "{programs} programs supplied for {nodes} nodes")
-            }
-            ExecutionError::BandwidthExceeded { from, bits, budget } => {
-                write!(
-                    f,
-                    "message of {bits} bits from {from} exceeds budget of {budget} bits"
-                )
-            }
-        }
-    }
-}
-
-impl Error for ExecutionError {}
-
-/// The synchronous executor: drives all node programs round by round until
-/// every node has halted.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SyncExecutor;
-
-impl SyncExecutor {
-    /// Runs `programs[v]` on node `v` of `graph` under `config`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an [`ExecutionError`] if a program misbehaves (sends to a
-    /// non-neighbor, exceeds an enforced bandwidth budget) or if the round
-    /// limit is hit.
-    pub fn run<P: NodeProgram>(
-        graph: &Graph,
-        mut programs: Vec<P>,
-        config: &ExecutorConfig,
-    ) -> Result<RunReport<P::Output>, ExecutionError> {
-        let n = graph.n();
-        if programs.len() != n {
-            return Err(ExecutionError::ProgramCountMismatch {
-                programs: programs.len(),
-                nodes: n,
-            });
-        }
-        let bandwidth = config
-            .bandwidth_bits
-            .unwrap_or_else(|| crate::congest_bandwidth_bits(n));
-
-        let mut outputs: Vec<Option<P::Output>> = vec![None; n];
-        let mut halted = vec![false; n];
-        let mut inboxes: Vec<Inbox<P::Message>> = (0..n).map(|_| Inbox::new()).collect();
-        let mut total_messages = 0u64;
-        let mut max_message_bits = 0usize;
-        let mut violations = 0u64;
-
-        // Round 0: init.
-        let mut pending: Vec<Vec<(NodeId, P::Message)>> = Vec::with_capacity(n);
-        for v in 0..n {
-            let ctx = NodeContext {
-                id: NodeId(v),
-                graph,
-                round: 0,
-            };
-            pending.push(programs[v].init(&ctx));
-        }
-
-        let mut round = 0u64;
-        loop {
-            // Deliver.
-            for inbox in inboxes.iter_mut() {
-                inbox.messages.clear();
-            }
-            for (v, outbox) in pending.iter_mut().enumerate() {
-                for (target, msg) in outbox.drain(..) {
-                    if !graph.has_edge(NodeId(v), target) {
-                        return Err(ExecutionError::NotANeighbor {
-                            from: NodeId(v),
-                            to: target,
-                        });
-                    }
-                    let bits = msg.size_bits();
-                    max_message_bits = max_message_bits.max(bits);
-                    if bits > bandwidth {
-                        violations += 1;
-                        if config.enforce_bandwidth {
-                            return Err(ExecutionError::BandwidthExceeded {
-                                from: NodeId(v),
-                                bits,
-                                budget: bandwidth,
-                            });
-                        }
-                    }
-                    total_messages += 1;
-                    if !halted[target.0] {
-                        inboxes[target.0].messages.push((NodeId(v), msg));
-                    }
-                }
-            }
-
-            if halted.iter().all(|&h| h) {
-                break;
-            }
-            round += 1;
-            if round > config.max_rounds {
-                return Err(ExecutionError::RoundLimitExceeded {
-                    limit: config.max_rounds,
-                });
-            }
-
-            // Execute the round on all live nodes.
-            for v in 0..n {
-                if halted[v] {
-                    continue;
-                }
-                let ctx = NodeContext {
-                    id: NodeId(v),
-                    graph,
-                    round,
-                };
-                match programs[v].round(&ctx, &inboxes[v]) {
-                    RoundAction::Continue(outbox) => pending[v] = outbox,
-                    RoundAction::Halt(out) => {
-                        outputs[v] = Some(out);
-                        halted[v] = true;
-                        pending[v] = Vec::new();
-                    }
-                }
-            }
-        }
-
-        Ok(RunReport {
-            outputs: outputs
-                .into_iter()
-                .map(|o| o.expect("halted node has output"))
-                .collect(),
-            rounds: round,
-            messages: total_messages,
-            max_message_bits,
-            bandwidth_violations: violations,
-            bandwidth_bits: bandwidth,
-        })
-    }
+        inbox: &Inbox<'_, Self::Message>,
+        outbox: &mut Outbox<'_, Self::Message>,
+    ) -> RoundAction<Self::Output>;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Every node floods its identifier for `k` rounds and outputs the
-    /// smallest identifier it has heard of — after `diameter` rounds every
-    /// node knows the global minimum.
-    struct MinId {
-        best: usize,
-        rounds: u64,
-    }
-
-    impl NodeProgram for MinId {
-        type Message = NodeId;
-        type Output = usize;
-
-        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, NodeId)> {
-            self.best = ctx.id.0;
-            ctx.neighbors()
-                .iter()
-                .map(|&u| (u, NodeId(self.best)))
-                .collect()
-        }
-
-        fn round(
-            &mut self,
-            ctx: &NodeContext<'_>,
-            inbox: &Inbox<NodeId>,
-        ) -> RoundAction<NodeId, usize> {
-            for (_, m) in inbox.iter() {
-                self.best = self.best.min(m.0);
-            }
-            if ctx.round >= self.rounds {
-                RoundAction::Halt(self.best)
-            } else {
-                RoundAction::Continue(
-                    ctx.neighbors()
-                        .iter()
-                        .map(|&u| (u, NodeId(self.best)))
-                        .collect(),
-                )
-            }
-        }
-    }
-
-    fn path_graph(n: usize) -> Graph {
-        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
-        Graph::from_edges(n, &edges).unwrap()
-    }
-
     #[test]
-    fn min_id_flood_converges_on_a_path() {
-        let g = path_graph(6);
-        let programs: Vec<_> = (0..6)
-            .map(|_| MinId {
-                best: usize::MAX,
-                rounds: 6,
-            })
-            .collect();
-        let report = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap();
-        assert!(report.outputs.iter().all(|&o| o == 0));
-        assert_eq!(report.rounds, 6);
-        assert!(report.messages > 0);
-        assert!(report.max_message_bits <= report.bandwidth_bits);
-        assert_eq!(report.bandwidth_violations, 0);
-    }
-
-    #[test]
-    fn too_few_rounds_does_not_converge() {
-        let g = path_graph(8);
-        let programs: Vec<_> = (0..8)
-            .map(|_| MinId {
-                best: usize::MAX,
-                rounds: 2,
-            })
-            .collect();
-        let report = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap();
-        // Node 7 is at distance 7 from node 0; after 2 rounds it cannot know 0.
-        assert_ne!(report.outputs[7], 0);
-    }
-
-    #[test]
-    fn program_count_mismatch_is_an_error() {
-        let g = path_graph(3);
-        let programs: Vec<MinId> = vec![];
-        let err = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap_err();
-        assert!(matches!(err, ExecutionError::ProgramCountMismatch { .. }));
-    }
-
-    struct BadSender;
-    impl NodeProgram for BadSender {
-        type Message = usize;
-        type Output = ();
-        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, usize)> {
-            if ctx.id.0 == 0 {
-                // Node 2 is not a neighbor of node 0 on a path.
-                vec![(NodeId(2), 1)]
-            } else {
-                vec![]
-            }
-        }
-        fn round(&mut self, _: &NodeContext<'_>, _: &Inbox<usize>) -> RoundAction<usize, ()> {
-            RoundAction::Halt(())
-        }
-    }
-
-    #[test]
-    fn sending_to_non_neighbor_is_an_error() {
-        let g = path_graph(3);
-        let programs: Vec<_> = (0..3).map(|_| BadSender).collect();
-        let err = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap_err();
-        assert!(matches!(err, ExecutionError::NotANeighbor { .. }));
-    }
-
-    struct NeverHalts;
-    impl NodeProgram for NeverHalts {
-        type Message = ();
-        type Output = ();
-        fn init(&mut self, _: &NodeContext<'_>) -> Vec<(NodeId, ())> {
-            vec![]
-        }
-        fn round(&mut self, _: &NodeContext<'_>, _: &Inbox<()>) -> RoundAction<(), ()> {
-            RoundAction::Continue(vec![])
-        }
-    }
-
-    #[test]
-    fn round_limit_is_enforced() {
-        let g = path_graph(2);
-        let programs: Vec<_> = (0..2).map(|_| NeverHalts).collect();
-        let config = ExecutorConfig {
-            max_rounds: 10,
-            ..ExecutorConfig::default()
-        };
-        let err = SyncExecutor::run(&g, programs, &config).unwrap_err();
-        assert_eq!(err, ExecutionError::RoundLimitExceeded { limit: 10 });
-    }
-
-    struct FatMessage;
-    impl NodeProgram for FatMessage {
-        type Message = Vec<u64>;
-        type Output = ();
-        fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, Vec<u64>)> {
-            ctx.neighbors()
-                .iter()
-                .map(|&u| (u, vec![0u64; 64]))
-                .collect()
-        }
-        fn round(&mut self, _: &NodeContext<'_>, _: &Inbox<Vec<u64>>) -> RoundAction<Vec<u64>, ()> {
-            RoundAction::Halt(())
-        }
-    }
-
-    #[test]
-    fn bandwidth_violations_counted_and_enforced() {
-        let g = path_graph(2);
-        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
-        let report = SyncExecutor::run(&g, programs, &ExecutorConfig::default()).unwrap();
-        assert!(report.bandwidth_violations > 0);
-
-        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
-        let err = SyncExecutor::run(&g, programs, &ExecutorConfig::strict_congest()).unwrap_err();
-        assert!(matches!(err, ExecutionError::BandwidthExceeded { .. }));
-
-        // The same messages are fine in the LOCAL model.
-        let programs: Vec<_> = (0..2).map(|_| FatMessage).collect();
-        let report = SyncExecutor::run(&g, programs, &ExecutorConfig::local_model()).unwrap();
-        assert_eq!(report.bandwidth_violations, 0);
-    }
-
-    #[test]
-    fn inbox_lookup_by_sender() {
-        let mut inbox = Inbox::new();
-        inbox.messages.push((NodeId(3), 42usize));
+    fn inbox_lookup_by_sender_is_binary_search_over_sorted_senders() {
+        let senders = [NodeId(1), NodeId(3), NodeId(7)];
+        let slots = [None, Some(42usize), Some(7)];
+        let inbox = Inbox::over(&senders, &slots);
         assert_eq!(inbox.from(NodeId(3)), Some(&42));
-        assert_eq!(inbox.from(NodeId(1)), None);
-        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox.from(NodeId(7)), Some(&7));
+        assert_eq!(inbox.from(NodeId(1)), None, "neighbor that sent nothing");
+        assert_eq!(inbox.from(NodeId(2)), None, "not a neighbor");
+        assert_eq!(inbox.len(), 2);
         assert!(!inbox.is_empty());
+        let collected: Vec<_> = inbox.iter().map(|(s, &m)| (s, m)).collect();
+        assert_eq!(collected, vec![(NodeId(3), 42), (NodeId(7), 7)]);
+        assert_eq!(inbox.iter_slots().count(), 3);
+    }
+
+    #[test]
+    fn empty_inbox() {
+        let inbox: Inbox<'_, u32> = Inbox::over(&[], &[]);
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.len(), 0);
+        assert_eq!(inbox.from(NodeId(0)), None);
+    }
+
+    #[test]
+    fn outbox_broadcast_reaches_every_neighbor() {
+        let neighbors = [NodeId(2), NodeId(5)];
+        let mut buf = Vec::new();
+        let mut outbox = Outbox::over(&neighbors, &mut buf);
+        outbox.broadcast(9u8);
+        outbox.send(NodeId(2), 4u8);
+        outbox.send(NodeId(3), 6u8);
+        assert_eq!(outbox.queued(), 4);
+        let queued: Vec<_> = buf.iter().map(|m| (m.to, m.slot, m.msg)).collect();
+        assert_eq!(
+            queued,
+            vec![
+                (NodeId(2), 0, 9),
+                (NodeId(5), 1, 9),
+                (NodeId(2), 0, 4),
+                (NodeId(3), INVALID_SLOT, 6),
+            ]
+        );
     }
 }

@@ -5,12 +5,26 @@
 //! candidate has a selected node within distance `β`. Section 4 of the paper
 //! uses the CONGEST ruling-set algorithm of [ALGP89, HKN16] with
 //! `α = Θ(log² n)` to shrink the dominating set `S` to `|S|/Θ(log² n)` cluster
-//! centers. The identifier-ordered greedy used here produces an
-//! `(α, α-1)`-ruling set deterministically; the round cost charged to the
-//! ledger is the paper's `O(log³ n)` bound.
+//! centers.
+//!
+//! Two equivalent constructions are provided:
+//!
+//! * [`ruling_set`] — the centralized identifier-ordered greedy; its round
+//!   cost is *charged* to the ledger via the paper's `O(log³ n)` bound.
+//! * [`distributed_ruling_set`] — the same set computed as a genuine CONGEST
+//!   [`NodeProgram`] on the execution engine: each phase floods the minimum
+//!   active candidate identifier for `α−1` rounds (local minima join the
+//!   set), then floods blocking notices for another `α−1` rounds. Since a
+//!   candidate joins exactly when no smaller unblocked candidate sits within
+//!   distance `α−1`, the fixed point equals the identifier-ordered greedy,
+//!   and the round count is *measured* against
+//!   [`formulas::ruling_set_phase_rounds`].
 
 use congest_sim::ledger::formulas;
-use congest_sim::{Graph, NodeId, RoundLedger};
+use congest_sim::{
+    ExecutionError, Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeId,
+    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor,
+};
 use std::collections::VecDeque;
 
 /// Result of a ruling-set computation.
@@ -77,6 +91,264 @@ pub fn ruling_set(graph: &Graph, candidates: &[NodeId], alpha: usize) -> RulingS
         alpha,
         ledger,
     }
+}
+
+/// Messages of the distributed ruling-set program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RulingSetMessage {
+    /// Select flood: the smallest active candidate identifier known so far.
+    Best(u64),
+    /// Block flood: a node within `α−1` of a freshly selected ruler; the
+    /// payload is the number of hops the notice still travels.
+    Block(u64),
+}
+
+impl MessageSize for RulingSetMessage {
+    fn size_bits(&self) -> usize {
+        use congest_sim::message::bit_width;
+        match self {
+            RulingSetMessage::Best(id) => 1 + bit_width(*id),
+            RulingSetMessage::Block(h) => 1 + bit_width(*h),
+        }
+    }
+}
+
+/// Local output of [`RulingSetProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RulingSetNodeOutput {
+    /// Whether the node was selected into the ruling set.
+    pub selected: bool,
+    /// The phase (1-based) in which the node was selected or blocked;
+    /// `0` for nodes that were never candidates.
+    pub resolved_phase: u64,
+}
+
+/// Per-node state machine of the distributed `(α, α−1)`-ruling set. Each
+/// phase lasts `2(α−1)` rounds: a select flood followed by a block flood.
+/// Non-candidates participate as relays and halt once no active candidate
+/// remains within distance `α−1`.
+#[derive(Debug, Clone)]
+pub struct RulingSetProgram {
+    alpha: usize,
+    active: bool,
+    selected: bool,
+    resolved_phase: u64,
+    best: Option<u64>,
+}
+
+impl RulingSetProgram {
+    /// Creates the program; `candidate` marks membership in the input set
+    /// `S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha == 0`.
+    pub fn new(alpha: usize, candidate: bool) -> Self {
+        assert!(alpha >= 1, "alpha must be at least 1");
+        RulingSetProgram {
+            alpha,
+            active: candidate,
+            selected: false,
+            resolved_phase: 0,
+            best: None,
+        }
+    }
+
+    fn output(&self) -> RulingSetNodeOutput {
+        RulingSetNodeOutput {
+            selected: self.selected,
+            resolved_phase: self.resolved_phase,
+        }
+    }
+}
+
+impl NodeProgram for RulingSetProgram {
+    type Message = RulingSetMessage;
+    type Output = RulingSetNodeOutput;
+
+    fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, RulingSetMessage>) {
+        if self.alpha == 1 {
+            // Distance-one separation is vacuous: every candidate is a ruler.
+            if self.active {
+                self.selected = true;
+                self.resolved_phase = 1;
+            }
+            return;
+        }
+        if self.active {
+            self.best = Some(ctx.id.0 as u64);
+            outbox.broadcast(RulingSetMessage::Best(ctx.id.0 as u64));
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<'_, RulingSetMessage>,
+        outbox: &mut Outbox<'_, RulingSetMessage>,
+    ) -> RoundAction<RulingSetNodeOutput> {
+        if self.alpha == 1 {
+            return RoundAction::Halt(self.output());
+        }
+        let hops = self.alpha as u64 - 1;
+        let period = 2 * hops;
+        let phase = (ctx.round - 1) / period;
+        let t = (ctx.round - 1) % period + 1;
+
+        if t <= hops {
+            // Select flood: propagate the minimum active candidate id.
+            for (_, msg) in inbox.iter() {
+                if let RulingSetMessage::Best(b) = msg {
+                    self.best = Some(self.best.map_or(*b, |cur| cur.min(*b)));
+                }
+            }
+            if t < hops {
+                if let Some(b) = self.best {
+                    outbox.broadcast(RulingSetMessage::Best(b));
+                }
+                return RoundAction::Continue;
+            }
+            // Decision round: `best` now covers the whole radius-(α−1) ball.
+            let Some(best) = self.best else {
+                // No active candidate within distance α−1: this node can
+                // neither resolve anything nor relay a relevant flood.
+                return RoundAction::Halt(self.output());
+            };
+            if self.active && best == ctx.id.0 as u64 {
+                self.selected = true;
+                self.active = false;
+                self.resolved_phase = phase + 1;
+                outbox.broadcast(RulingSetMessage::Block(hops - 1));
+            }
+            RoundAction::Continue
+        } else {
+            // Block flood: remove candidates within α−1 of a new ruler.
+            let mut forward: Option<u64> = None;
+            for (_, msg) in inbox.iter() {
+                if let RulingSetMessage::Block(h) = msg {
+                    if self.active {
+                        self.active = false;
+                        self.resolved_phase = phase + 1;
+                    }
+                    if *h > 0 {
+                        forward = Some(forward.map_or(*h - 1, |f| f.max(*h - 1)));
+                    }
+                }
+            }
+            if let Some(h) = forward {
+                outbox.broadcast(RulingSetMessage::Block(h));
+            }
+            if t == period {
+                // Phase boundary: reseed the next select flood.
+                self.best = self.active.then_some(ctx.id.0 as u64);
+                if let Some(b) = self.best {
+                    outbox.broadcast(RulingSetMessage::Best(b));
+                }
+            }
+            RoundAction::Continue
+        }
+    }
+}
+
+/// Result of a distributed ruling-set run.
+#[derive(Debug, Clone)]
+pub struct DistributedRulingSet {
+    /// The selected nodes, in increasing identifier order. Equals the
+    /// identifier-ordered greedy [`ruling_set`] on the same input.
+    pub selected: Vec<NodeId>,
+    /// The separation parameter α.
+    pub alpha: usize,
+    /// The engine report (rounds, messages, per-round stats).
+    pub report: RunReport<RulingSetNodeOutput>,
+    /// Measured accounting through the unified instrumentation path.
+    pub ledger: RoundLedger,
+    /// Number of selection phases until global quiescence.
+    pub phases: u64,
+}
+
+/// Runs the distributed `(alpha, alpha-1)`-ruling set on the sequential
+/// executor.
+///
+/// # Errors
+///
+/// Propagates engine errors (these indicate a bug in the program, not a
+/// property of the input).
+///
+/// # Panics
+///
+/// Panics if `alpha == 0`.
+pub fn distributed_ruling_set(
+    graph: &Graph,
+    candidates: &[NodeId],
+    alpha: usize,
+) -> Result<DistributedRulingSet, ExecutionError> {
+    distributed_ruling_set_on(
+        graph,
+        candidates,
+        alpha,
+        &SyncExecutor,
+        &ExecutorConfig::default(),
+    )
+}
+
+/// Runs the distributed ruling set on an arbitrary [`Executor`]. Outputs and
+/// accounting are identical across executors.
+///
+/// # Errors
+///
+/// Propagates engine errors (these indicate a bug in the program, not a
+/// property of the input).
+///
+/// # Panics
+///
+/// Panics if `alpha == 0`.
+pub fn distributed_ruling_set_on<E: Executor>(
+    graph: &Graph,
+    candidates: &[NodeId],
+    alpha: usize,
+    executor: &E,
+    config: &ExecutorConfig,
+) -> Result<DistributedRulingSet, ExecutionError> {
+    assert!(alpha >= 1, "alpha must be at least 1");
+    let mut is_candidate = vec![false; graph.n()];
+    for &v in candidates {
+        is_candidate[v.0] = true;
+    }
+    let programs: Vec<_> = (0..graph.n())
+        .map(|v| RulingSetProgram::new(alpha, is_candidate[v]))
+        .collect();
+    let report = executor.run(graph, programs, config)?;
+    let selected: Vec<NodeId> = report
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.selected)
+        .map(|(v, _)| NodeId(v))
+        .collect();
+    let phases = report
+        .outputs
+        .iter()
+        .map(|o| o.resolved_phase)
+        .max()
+        .unwrap_or(0);
+    let mut ledger = RoundLedger::new();
+    // The formula column records the exact phase formula (like the other
+    // measured components); the paper's O(log³ n) HKN16 charge lives in the
+    // sequential `ruling_set` and can be far *below* the measured cost of
+    // this id-ordered construction on path-like instances.
+    let formula = if graph.n() == 0 {
+        0
+    } else {
+        formulas::ruling_set_phase_rounds(phases, alpha)
+    };
+    report.charge_with_formula(&mut ledger, "ruling set (measured)", formula);
+    Ok(DistributedRulingSet {
+        selected,
+        alpha,
+        report,
+        ledger,
+        phases,
+    })
 }
 
 /// Verifies the ruling-set properties: selected nodes are candidates, pairwise
@@ -209,5 +481,111 @@ mod tests {
     fn zero_alpha_panics() {
         let g = generators::path(3);
         let _ = ruling_set(&g, &[NodeId(0)], 0);
+    }
+
+    #[test]
+    fn distributed_ruling_set_equals_sequential_greedy() {
+        for seed in 0..3 {
+            let g = generators::gnp(50, 0.08, seed);
+            let candidates: Vec<NodeId> = g.nodes().filter(|v| v.0 % 3 != 0).collect();
+            for alpha in [1usize, 2, 3, 5] {
+                let seq = ruling_set(&g, &candidates, alpha);
+                let dist = distributed_ruling_set(&g, &candidates, alpha).unwrap();
+                assert_eq!(
+                    dist.selected, seq.selected,
+                    "seed {seed} alpha {alpha}: engine and greedy disagree"
+                );
+                verify_ruling_set(&g, &candidates, &seq).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_ruling_set_path_matches_round_formula() {
+        let g = generators::path(20);
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let rs = distributed_ruling_set(&g, &candidates, 3).unwrap();
+        assert_eq!(
+            rs.selected,
+            vec![
+                NodeId(0),
+                NodeId(3),
+                NodeId(6),
+                NodeId(9),
+                NodeId(12),
+                NodeId(15),
+                NodeId(18)
+            ]
+        );
+        // One selection per phase on a path, then one trailing select flood.
+        assert_eq!(rs.phases, 7);
+        assert_eq!(
+            rs.report.rounds,
+            formulas::ruling_set_phase_rounds(rs.phases, 3)
+        );
+        // On this instance the measured cost also stays below the paper's
+        // O(log³ n) HKN16 charge (not an invariant: long paths with α fixed
+        // can exceed it, which is exactly what measuring is for).
+        assert!(rs.report.rounds <= formulas::cds_clustering_rounds(g.n()));
+        assert_eq!(rs.ledger.total_simulated_rounds(), rs.report.rounds);
+        assert_eq!(rs.ledger.total_formula_rounds(), rs.report.rounds);
+        assert_eq!(rs.report.bandwidth_violations, 0);
+    }
+
+    #[test]
+    fn distributed_ruling_set_round_formula_holds_on_random_graphs() {
+        for seed in 0..3 {
+            let g = generators::gnp(40, 0.1, seed + 20);
+            let candidates: Vec<NodeId> = g.nodes().filter(|v| v.0 % 2 == 0).collect();
+            for alpha in [2usize, 4] {
+                let rs = distributed_ruling_set(&g, &candidates, alpha).unwrap();
+                assert_eq!(
+                    rs.report.rounds,
+                    formulas::ruling_set_phase_rounds(rs.phases, alpha),
+                    "seed {seed} alpha {alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_ruling_set_is_identical_on_both_executors() {
+        let g = generators::gnp(45, 0.09, 5);
+        let candidates: Vec<NodeId> = g.nodes().filter(|v| v.0 % 2 == 1).collect();
+        let seq = distributed_ruling_set(&g, &candidates, 3).unwrap();
+        let par = distributed_ruling_set_on(
+            &g,
+            &candidates,
+            3,
+            &congest_sim::ParallelExecutor::new(4),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(seq.report, par.report);
+        assert_eq!(seq.selected, par.selected);
+    }
+
+    #[test]
+    fn distributed_alpha_one_selects_all_candidates_in_one_round() {
+        let g = generators::cycle(12);
+        let candidates: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let rs = distributed_ruling_set(&g, &candidates, 1).unwrap();
+        assert_eq!(rs.selected, candidates);
+        assert_eq!(rs.report.rounds, formulas::ruling_set_phase_rounds(0, 1));
+    }
+
+    #[test]
+    fn distributed_empty_candidates_quiesce_immediately() {
+        let g = generators::path(6);
+        let rs = distributed_ruling_set(&g, &[], 4).unwrap();
+        assert!(rs.selected.is_empty());
+        assert_eq!(rs.phases, 0);
+        assert_eq!(rs.report.rounds, formulas::ruling_set_phase_rounds(0, 4));
+    }
+
+    #[test]
+    fn ruling_set_message_sizes_fit_congest() {
+        assert!(RulingSetMessage::Best(1 << 20).size_bits() <= 22);
+        assert!(RulingSetMessage::Block(7).size_bits() <= 4);
     }
 }

@@ -13,9 +13,10 @@
 //! still uncovered to 1, so the output is always feasible.
 
 use crate::cfds::FractionalAssignment;
+use congest_sim::ledger::formulas;
 use congest_sim::{
-    ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeId, NodeProgram, RoundAction,
-    RunReport, SyncExecutor,
+    Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeProgram, Outbox,
+    RoundAction, RoundLedger, RunReport, SyncExecutor,
 };
 
 /// Messages exchanged by [`Kw05Program`]: either the sender's current
@@ -84,44 +85,39 @@ impl Kw05Program {
     fn coverage(&self) -> f64 {
         self.x + self.neighbor_values.iter().sum::<f64>()
     }
-
-    fn broadcast<M: Clone>(ctx: &NodeContext<'_>, msg: M) -> Vec<(NodeId, M)> {
-        ctx.neighbors().iter().map(|&u| (u, msg.clone())).collect()
-    }
 }
 
 impl NodeProgram for Kw05Program {
     type Message = Kw05Message;
     type Output = f64;
 
-    fn init(&mut self, ctx: &NodeContext<'_>) -> Vec<(NodeId, Kw05Message)> {
+    fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, Kw05Message>) {
         self.neighbor_values = vec![0.0; ctx.degree()];
         self.dynamic_degree = ctx.degree() + 1;
         self.maybe_raise(ctx);
-        Self::broadcast(ctx, Kw05Message::Value(self.x))
+        outbox.broadcast(Kw05Message::Value(self.x));
     }
 
     fn round(
         &mut self,
         ctx: &NodeContext<'_>,
-        inbox: &Inbox<Kw05Message>,
-    ) -> RoundAction<Kw05Message, f64> {
+        inbox: &Inbox<'_, Kw05Message>,
+        outbox: &mut Outbox<'_, Kw05Message>,
+    ) -> RoundAction<f64> {
         // Odd simulator rounds deliver values, even rounds deliver covered
         // bits; the program itself alternates between the two.
         let receiving_values = ctx.round % 2 == 1;
         if receiving_values {
-            for (sender, msg) in inbox.iter() {
-                if let Kw05Message::Value(v) = msg {
-                    let idx = ctx
-                        .neighbors()
-                        .iter()
-                        .position(|&u| u == *sender)
-                        .expect("message from neighbor");
+            // Inbox slots align with the CSR neighbor order, so the slot
+            // index doubles as the index into `neighbor_values`.
+            for (idx, (_, msg)) in inbox.iter_slots().enumerate() {
+                if let Some(Kw05Message::Value(v)) = msg {
                     self.neighbor_values[idx] = *v;
                 }
             }
             self.covered = self.coverage() >= 1.0 - 1e-9;
-            RoundAction::Continue(Self::broadcast(ctx, Kw05Message::Covered(self.covered)))
+            outbox.broadcast(Kw05Message::Covered(self.covered));
+            RoundAction::Continue
         } else {
             let mut uncovered = usize::from(!self.covered);
             for (_, msg) in inbox.iter() {
@@ -141,7 +137,8 @@ impl NodeProgram for Kw05Program {
                 return RoundAction::Halt(self.x);
             }
             self.maybe_raise(ctx);
-            RoundAction::Continue(Self::broadcast(ctx, Kw05Message::Value(self.x)))
+            outbox.broadcast(Kw05Message::Value(self.x));
+            RoundAction::Continue
         }
     }
 }
@@ -151,21 +148,52 @@ impl NodeProgram for Kw05Program {
 pub struct Kw05Outcome {
     /// The feasible fractional dominating set.
     pub assignment: FractionalAssignment,
-    /// The executor report (rounds, messages, bandwidth).
+    /// The executor report (rounds, messages, bandwidth, per-round stats).
     pub report: RunReport<f64>,
+    /// Measured round accounting: the engine's `RunReport` charged against
+    /// the paper's `O(k²)` bound through the unified instrumentation path.
+    pub ledger: RoundLedger,
 }
 
-/// Runs the KW05 algorithm with locality parameter `k` on `graph`.
+/// Runs the KW05 algorithm with locality parameter `k` on `graph` using the
+/// sequential executor.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors (these indicate a bug in the program, not a
 /// property of the input).
 pub fn run(graph: &Graph, k: usize) -> Result<Kw05Outcome, congest_sim::ExecutionError> {
+    run_on(graph, k, &SyncExecutor, &ExecutorConfig::default())
+}
+
+/// Runs the KW05 algorithm on an arbitrary [`Executor`] (e.g. the parallel
+/// engine for large graphs). Outputs and accounting are identical across
+/// executors.
+///
+/// # Errors
+///
+/// Propagates simulator errors (these indicate a bug in the program, not a
+/// property of the input).
+pub fn run_on<E: Executor>(
+    graph: &Graph,
+    k: usize,
+    executor: &E,
+    config: &ExecutorConfig,
+) -> Result<Kw05Outcome, congest_sim::ExecutionError> {
     let programs: Vec<_> = (0..graph.n()).map(|_| Kw05Program::new(k)).collect();
-    let report = SyncExecutor::run(graph, programs, &ExecutorConfig::default())?;
+    let report = executor.run(graph, programs, config)?;
     let assignment = FractionalAssignment::from_values(report.outputs.clone());
-    Ok(Kw05Outcome { assignment, report })
+    let mut ledger = RoundLedger::new();
+    report.charge_with_formula(
+        &mut ledger,
+        "KW05 local fractional solution (measured)",
+        formulas::kw05_rounds(k),
+    );
+    Ok(Kw05Outcome {
+        assignment,
+        report,
+        ledger,
+    })
 }
 
 /// The default locality parameter `k = ceil(log2(Δ̃))`, the choice that gives
@@ -208,6 +236,28 @@ mod tests {
         let k = 3;
         let out = run(&g, k).unwrap();
         assert_eq!(out.report.rounds, (k * k * 2) as u64);
+        // The measured round count matches the paper's O(k²) formula exactly
+        // and reaches the ledger through the unified instrumentation path.
+        assert_eq!(out.report.rounds, formulas::kw05_rounds(k));
+        assert_eq!(out.ledger.total_simulated_rounds(), out.report.rounds);
+        assert_eq!(out.ledger.total_formula_rounds(), formulas::kw05_rounds(k));
+        assert_eq!(out.ledger.total_messages(), out.report.messages);
+    }
+
+    #[test]
+    fn parallel_executor_reproduces_sequential_outcome() {
+        let g = generators::gnp(80, 0.06, 7);
+        let k = default_k(&g);
+        let seq = run(&g, k).unwrap();
+        let par = run_on(
+            &g,
+            k,
+            &congest_sim::ParallelExecutor::new(4),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(seq.report, par.report);
+        assert_eq!(seq.assignment.values(), par.assignment.values());
     }
 
     #[test]

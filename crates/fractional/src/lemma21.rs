@@ -95,10 +95,12 @@ pub fn initial_fractional_solution(
         FractionalMethod::Kw05 { k } => {
             let k = k.unwrap_or_else(|| kw05::default_k(graph));
             let out = kw05::run(graph, k).expect("KW05 program is well-formed");
-            ledger.charge(
-                "part I: KW05 local fractional solution",
-                out.report.rounds,
-                out.report.messages,
+            // Measured on the engine; the RunReport feeds the ledger through
+            // the unified instrumentation path.
+            out.report.charge_with_formula(
+                &mut ledger,
+                "part I: KW05 local fractional solution (measured)",
+                formulas::kw05_rounds(k),
             );
             (
                 out.assignment.values().to_vec(),

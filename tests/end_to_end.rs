@@ -150,3 +150,38 @@ fn explicit_route_selection_matches_wrappers() {
     let wrapper = theorem_1_2(&graph, &config);
     assert_eq!(direct.dominating_set, wrapper.dominating_set);
 }
+
+/// The three engine-measured algorithms (KW05, span-greedy, ruling set) hit
+/// their paper round formulas exactly on every test family, and their
+/// `RunReport`s feed the `RoundLedger` through the unified path.
+#[test]
+fn engine_round_counts_match_paper_formulas_across_families() {
+    use congest_mds::congest::ledger::formulas;
+    use congest_mds::decomposition::ruling_set::distributed_ruling_set;
+    use congest_mds::fractional::kw05;
+    use congest_mds::mds::greedy::distributed_greedy_mds;
+
+    for (i, family) in families().into_iter().enumerate() {
+        let graph = generators::generate(&family, i as u64);
+
+        let k = kw05::default_k(&graph);
+        let frac = kw05::run(&graph, k).unwrap();
+        assert_eq!(frac.report.rounds, formulas::kw05_rounds(k));
+        assert_eq!(frac.ledger.total_simulated_rounds(), frac.report.rounds);
+
+        let g = distributed_greedy_mds(&graph).unwrap();
+        assert!(verify::is_dominating_set(&graph, &g.set));
+        assert_eq!(g.report.rounds, formulas::greedy_span_rounds(g.phases));
+        assert_eq!(g.ledger.total_simulated_rounds(), g.report.rounds);
+
+        let candidates: Vec<_> = g.set.clone();
+        let rs = distributed_ruling_set(&graph, &candidates, 3).unwrap();
+        assert_eq!(
+            rs.report.rounds,
+            formulas::ruling_set_phase_rounds(rs.phases, 3)
+        );
+        assert_eq!(rs.ledger.total_simulated_rounds(), rs.report.rounds);
+        let seq = congest_mds::decomposition::ruling_set::ruling_set(&graph, &candidates, 3);
+        assert_eq!(rs.selected, seq.selected);
+    }
+}

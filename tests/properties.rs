@@ -1,7 +1,10 @@
 //! Property-based integration tests (proptest): invariants of the core data
 //! structures and algorithms over randomly generated graphs and assignments.
 
-use congest_mds::congest::{Graph, NodeId};
+use congest_mds::congest::{
+    Executor, ExecutorConfig, Graph, Inbox, NodeContext, NodeId, NodeProgram, Outbox,
+    ParallelExecutor, RoundAction, SyncExecutor,
+};
 use congest_mds::decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
 use congest_mds::decomposition::spanner::{derandomized_spanner, verify_spanner};
 use congest_mds::fractional::lp;
@@ -17,6 +20,50 @@ use proptest::prelude::*;
 fn graph_strategy() -> impl Strategy<Value = Graph> {
     (2usize..60, 1u32..30, 0u64..1000)
         .prop_map(|(n, p_num, seed)| generators::gnp(n, p_num as f64 / 100.0, seed))
+}
+
+/// Engine property-test workload: floods the minimum id for `depth` rounds.
+/// Nodes halt at staggered times (`depth + id % 3`), exercising the halted
+/// bookkeeping of both executors.
+struct StaggeredFlood {
+    best: usize,
+    depth: u64,
+}
+
+impl NodeProgram for StaggeredFlood {
+    type Message = NodeId;
+    type Output = usize;
+
+    fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, NodeId>) {
+        self.best = ctx.id.0;
+        outbox.broadcast(NodeId(self.best));
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<'_, NodeId>,
+        outbox: &mut Outbox<'_, NodeId>,
+    ) -> RoundAction<usize> {
+        for (_, m) in inbox.iter() {
+            self.best = self.best.min(m.0);
+        }
+        if ctx.round >= self.depth + (ctx.id.0 % 3) as u64 {
+            RoundAction::Halt(self.best)
+        } else {
+            outbox.broadcast(NodeId(self.best));
+            RoundAction::Continue
+        }
+    }
+}
+
+fn staggered_programs(n: usize, depth: u64) -> Vec<StaggeredFlood> {
+    (0..n)
+        .map(|_| StaggeredFlood {
+            best: usize::MAX,
+            depth,
+        })
+        .collect()
 }
 
 proptest! {
@@ -131,5 +178,40 @@ proptest! {
         for v in graph.nodes() {
             prop_assert!(comps.component[v.0] < comps.count);
         }
+    }
+
+    #[test]
+    fn parallel_executor_is_bit_identical_to_sequential(
+        graph in graph_strategy(),
+        threads in 1usize..9,
+        depth in 1u64..12,
+    ) {
+        let config = ExecutorConfig::default();
+        let seq = SyncExecutor
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        let par = ParallelExecutor::new(threads)
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        // The full report — outputs, rounds, messages, bits, max message
+        // size, violations and per-round stats — must match bit for bit.
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_kw05_matches_sequential_on_the_engine(
+        graph in graph_strategy(),
+        threads in 2usize..6,
+    ) {
+        let k = congest_mds::fractional::kw05::default_k(&graph);
+        let seq = congest_mds::fractional::kw05::run(&graph, k).unwrap();
+        let par = congest_mds::fractional::kw05::run_on(
+            &graph,
+            k,
+            &ParallelExecutor::new(threads),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(seq.report, par.report);
     }
 }
