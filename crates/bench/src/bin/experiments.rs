@@ -1,9 +1,31 @@
-//! Experiment driver: regenerates the tables of `EXPERIMENTS.md`.
+//! Experiment driver: regenerates the tables of `EXPERIMENTS.md` and, with
+//! `--json`, the machine-readable pipeline benchmark.
 //!
-//! Usage: `cargo run --release -p mds-bench --bin experiments -- [--exp e1|...|e10|all]`
+//! Usage:
+//!
+//! ```console
+//! $ cargo run --release -p mds_bench --bin experiments -- [--exp e1|...|e10|all]
+//! $ cargo run --release -p mds_bench --bin experiments -- --json [path]
+//! ```
+//!
+//! `--json` runs both composed pipeline routes over the default size sweep
+//! and writes sizes, measured vs paper-formula round counts and wall times to
+//! `BENCH_pipeline.json` (or the given path), so the perf trajectory is
+//! tracked across PRs.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("BENCH_pipeline.json");
+        mds_bench::write_pipeline_benchmark(path, &mds_bench::JSON_BENCH_SIZES)
+            .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path}");
+        return;
+    }
     let exp = args
         .iter()
         .position(|a| a == "--exp")

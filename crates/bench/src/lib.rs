@@ -519,6 +519,65 @@ pub fn run_experiment(id: &str) -> String {
     }
 }
 
+/// Machine-readable pipeline benchmark: runs both theorem routes of the
+/// *composed* engine pipeline over a size sweep and reports, per run, the
+/// instance shape, the dominating-set size, measured vs paper-formula round
+/// totals, and wall time — the JSON written to `BENCH_pipeline.json` by
+/// `experiments --json`, so the perf trajectory is tracked across PRs.
+pub fn pipeline_benchmark_json(sizes: &[usize]) -> String {
+    let config = MdsConfig::default();
+    let mut entries = Vec::new();
+    for &n in sizes {
+        let g = generators::gnp(n, 8.0 / n.max(9) as f64, 3);
+        for route in ["theorem_1_1", "theorem_1_2"] {
+            let start = std::time::Instant::now();
+            let r = if route == "theorem_1_1" {
+                theorem_1_1(&g, &config)
+            } else {
+                theorem_1_2(&g, &config)
+            };
+            let wall = start.elapsed();
+            assert!(verify::is_dominating_set(&g, &r.dominating_set));
+            let measured_engine_rounds = r.measured_engine_rounds();
+            entries.push(format!(
+                concat!(
+                    "    {{\"n\": {}, \"m\": {}, \"max_degree\": {}, \"route\": \"{}\", ",
+                    "\"size\": {}, \"lp_lower_bound\": {:.3}, ",
+                    "\"measured_engine_rounds\": {}, \"simulated_rounds\": {}, ",
+                    "\"formula_rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}}}"
+                ),
+                g.n(),
+                g.m(),
+                g.max_degree(),
+                route,
+                r.size(),
+                r.lp_lower_bound,
+                measured_engine_rounds,
+                r.ledger.total_simulated_rounds(),
+                r.ledger.total_formula_rounds(),
+                r.ledger.total_messages(),
+                wall.as_secs_f64() * 1e3,
+            ));
+        }
+    }
+    format!(
+        "{{\n  \"benchmark\": \"pipeline\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+/// Writes [`pipeline_benchmark_json`] over the default size sweep to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if `path` is not writable.
+pub fn write_pipeline_benchmark(path: &str, sizes: &[usize]) -> std::io::Result<()> {
+    std::fs::write(path, pipeline_benchmark_json(sizes))
+}
+
+/// The size sweep `experiments --json` uses by default.
+pub const JSON_BENCH_SIZES: [usize; 3] = [50, 100, 200];
+
 /// Convenience used by the Criterion benches: a small graph per family label.
 pub fn bench_graph(label: &str) -> Graph {
     match label {
@@ -552,5 +611,23 @@ mod tests {
         for label in ["gnp", "grid", "udg", "tree"] {
             assert!(bench_graph(label).n() > 0);
         }
+    }
+
+    #[test]
+    fn pipeline_benchmark_json_carries_measured_and_formula_rounds() {
+        let json = pipeline_benchmark_json(&[30]);
+        for key in [
+            "\"benchmark\": \"pipeline\"",
+            "\"route\": \"theorem_1_1\"",
+            "\"route\": \"theorem_1_2\"",
+            "\"measured_engine_rounds\"",
+            "\"simulated_rounds\"",
+            "\"formula_rounds\"",
+            "\"wall_ms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Two routes over one size.
+        assert_eq!(json.matches("\"route\"").count(), 2);
     }
 }

@@ -297,6 +297,13 @@ struct MessageStore<M> {
     cur: Vec<Option<M>>,
     /// Messages queued for the next round (write side).
     next: Vec<Option<M>>,
+    /// Slots occupied on the read side — the ones to clear on the next
+    /// [`MessageStore::advance`], so a sparse round (a few deciders in an
+    /// otherwise idle schedule, the tail of a mostly-halted run) pays for the
+    /// messages it actually carried instead of an `O(m)` full-arena sweep.
+    cur_written: Vec<usize>,
+    /// Slots written on the write side this round.
+    next_written: Vec<usize>,
 }
 
 impl<M> MessageStore<M> {
@@ -316,16 +323,20 @@ impl<M> MessageStore<M> {
             mirror,
             cur: std::iter::repeat_with(|| None).take(slots).collect(),
             next: std::iter::repeat_with(|| None).take(slots).collect(),
+            cur_written: Vec::new(),
+            next_written: Vec::new(),
         }
     }
 
-    /// Makes the queued messages current and empties the write side, without
-    /// allocating.
+    /// Makes the queued messages current and empties the write side, clearing
+    /// only the slots that were actually occupied (no allocation).
     fn advance(&mut self) {
-        for slot in self.cur.iter_mut() {
-            *slot = None;
+        for &slot in &self.cur_written {
+            self.cur[slot] = None;
         }
+        self.cur_written.clear();
         std::mem::swap(&mut self.cur, &mut self.next);
+        std::mem::swap(&mut self.cur_written, &mut self.next_written);
     }
 }
 
@@ -374,7 +385,9 @@ fn commit_round<M: MessageSize>(
             }
             messages += 1;
             bits_sent = bits_sent.saturating_add(bits as u64);
-            store.next[store.mirror[base + i]] = Some(msg);
+            let slot = store.mirror[base + i];
+            store.next[slot] = Some(msg);
+            store.next_written.push(slot);
         }
     }
     acct.messages = acct.messages.saturating_add(messages);

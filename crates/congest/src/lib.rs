@@ -5,7 +5,7 @@
 //! reproduction of *Deurer, Kuhn, Maus — "Deterministic Distributed Dominating
 //! Set Approximation in the CONGEST Model" (PODC 2019)*.
 //!
-//! The crate provides four layers:
+//! The crate provides five layers:
 //!
 //! * [`Graph`] — a compact, immutable undirected network topology (CSR
 //!   adjacency) on which all algorithms in the workspace operate.
@@ -19,6 +19,10 @@
 //!   [`engine::ParallelExecutor`]), charging every message against the
 //!   CONGEST bandwidth budget of `O(log n)` bits and recording per-round
 //!   [`engine::RoundStats`].
+//! * [`compose::ComposedProgram`] — the program composition layer: sequences
+//!   heterogeneous node programs (and centrally simulated, closed-form-charged
+//!   steps) as the phases of one multi-phase algorithm, carrying typed state
+//!   between phases and attributing every phase's cost to a single ledger.
 //! * [`ledger::RoundLedger`] — round/message accounting for *composite*
 //!   algorithms whose communication pattern is specified by the paper through
 //!   well-defined primitives (e.g. "aggregate a sum along a cluster tree of
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod engine;
 mod error;
 mod graph;
@@ -50,6 +55,7 @@ pub mod ledger;
 pub mod message;
 pub mod program;
 
+pub use compose::{ComposedProgram, CompositionReport, Phase, PhaseMode, PhaseOutcome, PhaseSpec};
 pub use engine::{
     ExecutionError, Executor, ExecutorConfig, ParallelExecutor, RoundStats, RunReport, SyncExecutor,
 };

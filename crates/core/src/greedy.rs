@@ -1,4 +1,4 @@
-//! The greedy `(1 + ln(Δ+1))`-approximation [Joh74], in two guises.
+//! The greedy `(1 + ln(Δ+1))`-approximation \[Joh74\], in two guises.
 //!
 //! [`greedy_mds`] is the classic centralized baseline: repeatedly add the
 //! node covering the most still-uncovered nodes. Its approximation factor is

@@ -10,7 +10,7 @@
 //!   of `n`) and [`pipeline::theorem_1_2`] (distance-two colorings of the
 //!   degree-reduced bipartite representation, runtime as a function of `Δ`),
 //!   plus the LOCAL-model variant of Corollary 1.3.
-//! * [`greedy`] — the sequential `ln(Δ+1)`-approximation [Joh74], the
+//! * [`greedy`] — the sequential `ln(Δ+1)`-approximation \[Joh74\], the
 //!   baseline every distributed algorithm is compared against.
 //! * [`exact`] — an exact branch-and-bound solver for small instances, used
 //!   to measure true approximation ratios in experiment E1.

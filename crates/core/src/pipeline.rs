@@ -19,21 +19,43 @@
 //!   (runtime `O(Δ·poly log Δ + poly log Δ·log* n)`).
 //! * [`corollary_1_3`] — the LOCAL-model variant of the coloring route.
 //!
+//! # Execution modes
+//!
+//! [`run`] / [`run_on`] assemble the pipeline as a
+//! [`congest_sim::ComposedProgram`] and execute its hot path on the engine:
+//! the Part I fractional solver (when [`FractionalMethod::DistributedMwu`] is
+//! selected, the default) and every conditional-expectation schedule of Parts
+//! II/III run as real node programs with *measured* round counts, while the
+//! combinatorial constructions (decomposition, coloring) stay centrally
+//! simulated and charged in closed form — one interleaved accounting stream.
+//! [`central_oracle`] retains the pure in-memory implementation; the engine
+//! execution is property-tested bit-identical to it on both executors
+//! (`tests/properties.rs`).
+//!
 //! The paper's constants (`F = 256·ε⁻³·ln Δ̃`, `s = 64·ε⁻²·ln Δ̃`) make Part II
 //! vacuous on any graph that fits in memory (the paper notes this itself for
 //! small `Δ`); [`MdsConfig::concentration_scale`] scales them down so the
 //! doubling loop is actually exercised (substitution R6 in `DESIGN.md`).
 
 use congest_sim::ledger::formulas;
-use congest_sim::{Graph, NodeId, RoundLedger};
+use congest_sim::{
+    ComposedProgram, Executor, ExecutorConfig, Graph, NodeId, PhaseOutcome, PhaseSpec, RoundLedger,
+    SyncExecutor,
+};
 use mds_decomposition::coloring::{bipartite_distance_two_coloring, BipartiteColoring};
 use mds_decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
+use mds_decomposition::NetworkDecomposition;
 use mds_fractional::lemma21::{
-    initial_fractional_solution, FractionalMethod, InitialSolutionConfig,
+    apply_lemma21_floor, distributed_mwu_config, initial_fractional_solution, FractionalMethod,
+    InitialSolutionConfig,
 };
+use mds_fractional::lp::DistributedLpProgram;
 use mds_fractional::FractionalAssignment;
 use mds_graphs::BipartiteGraph;
-use mds_rounding::derandomize::{derandomize, DerandomizeConfig};
+use mds_rounding::derandomize::{
+    assemble_derand_outputs, derandomize, scheduled_derand_programs, DerandSchedule,
+    DerandomizeConfig,
+};
 use mds_rounding::factor_two::{FactorTwoConfig, FactorTwoRounding};
 use mds_rounding::one_shot::OneShotRounding;
 use mds_rounding::problem::RoundingProblem;
@@ -77,7 +99,9 @@ impl Default for MdsConfig {
         MdsConfig {
             epsilon: 0.5,
             route: DerandRoute::NetworkDecomposition { k: 2 },
-            fractional: FractionalMethod::Mwu(mds_fractional::lp::LpConfig::default()),
+            fractional: FractionalMethod::DistributedMwu(
+                mds_fractional::lp::DistributedLpConfig::default(),
+            ),
             estimator: EstimatorKind::default(),
             concentration_scale: 0.02,
             max_doubling_iterations: 40,
@@ -107,6 +131,11 @@ pub struct MdsResult {
     pub ledger: RoundLedger,
     /// Per-stage size/fractionality trajectory (experiment E5).
     pub stages: Vec<StageRecord>,
+    /// The composed-program phase trace: which phases ran on the engine
+    /// (measured) and which were centrally simulated (charged), in execution
+    /// order. Empty for [`central_oracle`] runs, which never touch the
+    /// engine.
+    pub phases: Vec<PhaseOutcome>,
     /// Certified lower bound on the LP optimum (and hence on OPT).
     pub lp_lower_bound: f64,
     /// The ε the pipeline was run with.
@@ -119,60 +148,201 @@ impl MdsResult {
         self.dominating_set.len()
     }
 
+    /// Rounds actually executed on the engine across all measured phases
+    /// (`0` for a [`central_oracle`] run).
+    pub fn measured_engine_rounds(&self) -> u64 {
+        congest_sim::compose::measured_rounds(&self.phases)
+    }
+
     /// The approximation guarantee `(1+ε)(1+ln(Δ+1))` for this run.
     pub fn guarantee(&self, graph: &Graph) -> f64 {
         (1.0 + self.epsilon) * (1.0 + (graph.delta_tilde().max(2) as f64).ln())
     }
 }
 
-/// Runs the pipeline with the route selected in `config`.
-pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
-    let n = graph.n();
-    let delta_tilde = graph.delta_tilde().max(2);
-    let mut ledger = RoundLedger::new();
-    let mut stages = Vec::new();
+/// Everything Parts II/III need to know about one derandomization step: the
+/// coin-fixing groups, how they may be parallelized, the paper's round
+/// formula, and the cost of setting the grouping up.
+struct DerandPlan {
+    /// Coin-fixing groups in processing order (clusters or color classes).
+    groups: Vec<Vec<usize>>,
+    /// Whether the members of one group may fix their coins in parallel
+    /// (distance-two color classes) or must serialize through their cluster.
+    parallel: bool,
+    /// Ledger entry name.
+    name: String,
+    /// The paper's closed-form round bound for the step.
+    formula: u64,
+    /// Rounds the pre-engine central implementation used to charge.
+    central_simulated: u64,
+    /// Messages charged for the step.
+    messages: u64,
+    /// Construction cost of the grouping (coloring ledger; empty for the
+    /// precomputed decomposition).
+    setup: RoundLedger,
+}
 
-    // ---- Part I: initial fractional solution (Lemma 2.1). ----
-    let eps1 = (config.epsilon / 4.0).clamp(1e-3, 0.25);
-    let initial = initial_fractional_solution(
-        graph,
-        &InitialSolutionConfig {
-            epsilon: eps1,
-            method: config.fractional.clone(),
-            make_transmittable: true,
-        },
-    );
-    ledger.absorb(initial.ledger.clone());
-    let mut assignment = initial.assignment;
-    stages.push(StageRecord {
-        name: "part I: initial fractional solution".to_owned(),
-        size: assignment.size(),
-        fractionality: assignment.fractionality(),
-    });
-
-    // Precompute the derandomization structure shared by all rounding steps.
-    let decomposition = match &config.route {
-        DerandRoute::NetworkDecomposition { k } => {
-            let nd =
-                strong_diameter_decomposition(graph, (*k).max(1), &DecompositionConfig::default());
-            ledger.absorb(nd.ledger.clone());
-            Some(nd)
+/// Computes the derandomization plan for one rounding step of the configured
+/// route — shared by the composed engine execution and the central oracle, so
+/// both process exactly the same groups in the same order.
+fn derandomization_plan(
+    graph: &Graph,
+    problem: &RoundingProblem,
+    config: &MdsConfig,
+    nd_groups: Option<&[Vec<usize>]>,
+    decomposition: Option<&NetworkDecomposition>,
+) -> DerandPlan {
+    let n = graph.n().max(2);
+    match &config.route {
+        DerandRoute::NetworkDecomposition { .. } => {
+            let nd = decomposition.expect("decomposition precomputed for this route");
+            let groups = nd_groups.expect("groups precomputed").to_vec();
+            let central_simulated =
+                groups.iter().map(|g| g.len() as u64).sum::<u64>() * (nd.diameter() as u64 + 1);
+            DerandPlan {
+                central_simulated,
+                formula: formulas::netdecomp_derandomization_rounds(
+                    n,
+                    nd.num_colors(),
+                    nd.diameter() + 1,
+                ),
+                name: "derandomization via network decomposition (Lemma 3.4)".to_owned(),
+                messages: problem.values.len() as u64 * 2,
+                parallel: false,
+                setup: RoundLedger::new(),
+                groups,
+            }
         }
-        _ => None,
+        DerandRoute::Coloring | DerandRoute::ColoringLocal => {
+            let (coloring, bipartite) = color_problem(problem);
+            let local = matches!(config.route, DerandRoute::ColoringLocal);
+            let formula = if local {
+                // Corollary 1.3: the coloring can be computed in
+                // O(F·Δ + log* n) rounds in the LOCAL model.
+                (bipartite.max_left_degree() * graph.max_degree().max(1)) as u64
+                    + formulas::log_star(n) as u64
+                    + formulas::coloring_derandomization_rounds(coloring.num_colors)
+            } else {
+                formulas::coloring_derandomization_rounds(coloring.num_colors)
+            };
+            DerandPlan {
+                central_simulated: coloring.num_colors as u64 * 2,
+                formula,
+                name: "derandomization via distance-two coloring (Lemma 3.10)".to_owned(),
+                messages: problem.values.len() as u64 * 2,
+                parallel: true,
+                setup: coloring.ledger.clone(),
+                groups: coloring.classes(),
+            }
+        }
+    }
+}
+
+/// Computes the coin-fixing groups for one rounding step and the round charge
+/// for setting them up and using them — the central oracle's view of
+/// [`derandomization_plan`].
+fn derandomization_groups(
+    graph: &Graph,
+    problem: &RoundingProblem,
+    config: &MdsConfig,
+    nd_groups: Option<&[Vec<usize>]>,
+    decomposition: Option<&NetworkDecomposition>,
+) -> (Vec<Vec<usize>>, RoundLedger) {
+    let plan = derandomization_plan(graph, problem, config, nd_groups, decomposition);
+    let mut ledger = plan.setup;
+    ledger.charge_with_formula(
+        &plan.name,
+        plan.central_simulated,
+        plan.formula,
+        plan.messages,
+    );
+    (plan.groups, ledger)
+}
+
+/// Builds the constraint/value bipartite graph of a rounding problem and
+/// colors its participating value nodes (Lemma 3.12 applied to the problem) —
+/// the grouping the Theorem 1.2 route schedules its coin fixing by. Public so
+/// examples and tests color problems exactly as the pipeline does.
+pub fn color_problem(problem: &RoundingProblem) -> (BipartiteColoring, BipartiteGraph) {
+    let mut b = BipartiteGraph::new(problem.constraints.len(), problem.values.len());
+    for (ci, c) in problem.constraints.iter().enumerate() {
+        for &m in &c.members {
+            b.add_edge(ci, m);
+        }
+    }
+    let targets = problem.participating_values();
+    let coloring = bipartite_distance_two_coloring(&b, &targets, problem.n_original.max(2));
+    (coloring, b)
+}
+
+/// Executes one derandomization step on the engine through the composer: the
+/// plan's groups become a [`DerandSchedule`] (parallel color classes, or
+/// cluster members serialized in color order) and the scheduled
+/// conditional-expectation program runs as a measured phase. Steps without
+/// any coin to fix fall back to the (free) central evaluation.
+fn composed_derandomization<E: Executor>(
+    composer: &mut ComposedProgram<'_, E>,
+    graph: &Graph,
+    problem: &RoundingProblem,
+    config: &MdsConfig,
+    nd_groups: Option<&[Vec<usize>]>,
+    decomposition: Option<&NetworkDecomposition>,
+) -> FractionalAssignment {
+    let plan = derandomization_plan(graph, problem, config, nd_groups, decomposition);
+    composer.absorb(plan.setup);
+    let schedule = if plan.parallel {
+        DerandSchedule::parallel_groups(&plan.groups, problem)
+    } else {
+        DerandSchedule::sequential_groups(&plan.groups, problem)
     };
-    let nd_groups: Option<Vec<Vec<usize>>> = decomposition.as_ref().map(|nd| {
-        nd.clusters_by_color()
-            .into_iter()
-            .flatten()
-            .map(|ci| {
-                nd.clusters.clusters[ci]
-                    .members
-                    .iter()
-                    .map(|v| v.0)
-                    .collect()
-            })
-            .collect()
-    });
+    if schedule.is_empty() {
+        // No coin flips: phase one is deterministic and phase two is a local
+        // check, so nothing needs the network.
+        let out = derandomize(
+            problem,
+            &DerandomizeConfig {
+                estimator: config.estimator,
+                groups: Some(plan.groups),
+            },
+        );
+        composer.charged(
+            PhaseSpec::named(format!("{} (no coins to fix)", plan.name)),
+            0,
+            plan.messages,
+        );
+        return out.output;
+    }
+    let programs = scheduled_derand_programs(graph, problem, &schedule, config.estimator)
+        .expect("pipeline rounding problems are graph-aligned");
+    let report = composer
+        .measured(
+            PhaseSpec::named(format!("{} (measured)", plan.name)).with_formula(plan.formula),
+            programs,
+        )
+        .expect("scheduled derandomization program is well-formed");
+    debug_assert_eq!(
+        report.rounds,
+        formulas::derandomization_schedule_rounds(schedule.len() as u64)
+    );
+    let (assignment, _violated) = assemble_derand_outputs(&report.outputs);
+    assignment
+}
+
+/// The shared Part II/III control flow: builds each rounding problem exactly
+/// as the paper prescribes and hands it to `round_step` for derandomization.
+/// Both execution modes instantiate this with their own `round_step`, so the
+/// engine run and the central oracle follow bit-identical control flow.
+fn rounding_parts<F>(
+    graph: &Graph,
+    config: &MdsConfig,
+    mut assignment: FractionalAssignment,
+    stages: &mut Vec<StageRecord>,
+    mut round_step: F,
+) -> FractionalAssignment
+where
+    F: FnMut(&RoundingProblem) -> FractionalAssignment,
+{
+    let delta_tilde = graph.delta_tilde().max(2);
 
     // ---- Part II: factor-two doubling loop (Lemmas 3.9 / 3.14). ----
     let rho = ((delta_tilde as f64 / config.epsilon).log2().ceil()).max(1.0);
@@ -208,22 +378,7 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
                 FactorTwoRounding::bipartite_split(graph, &assignment, &ft_config).into_problem()
             }
         };
-        let (groups, charge) = derandomization_groups(
-            graph,
-            &problem,
-            config,
-            nd_groups.as_deref(),
-            decomposition.as_ref(),
-        );
-        ledger.absorb(charge);
-        let out = derandomize(
-            &problem,
-            &DerandomizeConfig {
-                estimator: config.estimator,
-                groups: Some(groups),
-            },
-        );
-        assignment = out.output;
+        assignment = round_step(&problem);
         stages.push(StageRecord {
             name: format!("part II: factor-two rounding #{iteration}"),
             size: assignment.size(),
@@ -247,102 +402,204 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
                 OneShotRounding::degree_reduced(graph, &assignment, f_actual.max(1)).into_problem()
             }
         };
-        let (groups, charge) = derandomization_groups(
-            graph,
-            &problem,
-            config,
-            nd_groups.as_deref(),
-            decomposition.as_ref(),
-        );
-        ledger.absorb(charge);
-        let out = derandomize(
-            &problem,
-            &DerandomizeConfig {
-                estimator: config.estimator,
-                groups: Some(groups),
-            },
-        );
-        out.output
+        round_step(&problem)
     };
     stages.push(StageRecord {
         name: "part III: one-shot rounding".to_owned(),
         size: assignment.size(),
         fractionality: assignment.fractionality(),
     });
+    assignment
+}
+
+/// Precomputes the network decomposition (and its flattened coin-fixing
+/// groups) for the Theorem 1.1 route; charges its construction to `ledger`.
+fn precompute_decomposition(
+    graph: &Graph,
+    config: &MdsConfig,
+    ledger: &mut RoundLedger,
+) -> (Option<NetworkDecomposition>, Option<Vec<Vec<usize>>>) {
+    let decomposition = match &config.route {
+        DerandRoute::NetworkDecomposition { k } => {
+            let nd =
+                strong_diameter_decomposition(graph, (*k).max(1), &DecompositionConfig::default());
+            ledger.absorb(nd.ledger.clone());
+            Some(nd)
+        }
+        _ => None,
+    };
+    let nd_groups = decomposition.as_ref().map(|nd| {
+        nd.clusters_by_color()
+            .into_iter()
+            .flatten()
+            .map(|ci| {
+                nd.clusters.clusters[ci]
+                    .members
+                    .iter()
+                    .map(|v| v.0)
+                    .collect()
+            })
+            .collect()
+    });
+    (decomposition, nd_groups)
+}
+
+/// Runs the pipeline as a composed engine execution on the sequential
+/// executor (see [`run_on`]).
+pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
+    run_on(graph, config, &SyncExecutor)
+}
+
+/// Assembles the pipeline as a [`ComposedProgram`] and executes it end to end
+/// on `executor`: measured node programs for the fractional solver (when
+/// [`FractionalMethod::DistributedMwu`] is selected) and for every
+/// conditional-expectation schedule, charged phases for the centrally
+/// simulated constructions. The result is bit-identical to
+/// [`central_oracle`] (property-tested), only the ledger differs — it now
+/// carries *measured* round counts for the hot path.
+pub fn run_on<E: Executor>(graph: &Graph, config: &MdsConfig, executor: &E) -> MdsResult {
+    let mut composer = ComposedProgram::new(graph, executor, ExecutorConfig::default());
+    let mut stages = Vec::new();
+
+    // ---- Part I: initial fractional solution (Lemma 2.1). ----
+    let eps1 = (config.epsilon / 4.0).clamp(1e-3, 0.25);
+    let (assignment, lp_lower_bound) = match &config.fractional {
+        FractionalMethod::DistributedMwu(mwu_config) => {
+            let cfg = distributed_mwu_config(mwu_config, eps1);
+            let formula = if graph.n() == 0 {
+                0
+            } else {
+                formulas::kmw_fractional_rounds(graph.max_degree(), eps1)
+            };
+            let report = composer
+                .measured(
+                    PhaseSpec::named("part I: distributed MWU covering LP (measured)")
+                        .with_formula(formula),
+                    DistributedLpProgram::programs(graph, &cfg),
+                )
+                .expect("distributed MWU program is well-formed");
+            debug_assert!(
+                graph.n() == 0
+                    || report.rounds
+                        == formulas::mwu_fractional_rounds(
+                            cfg.resolve(graph.delta_tilde()).iterations as u64
+                        )
+            );
+            let (assignment, _floor) = apply_lemma21_floor(graph, report.outputs, eps1, true);
+            composer.charged(PhaseSpec::named("part I: fractionality floor"), 0, 0);
+            (assignment, mds_fractional::lp::dual_lower_bound(graph))
+        }
+        method => {
+            let initial = initial_fractional_solution(
+                graph,
+                &InitialSolutionConfig {
+                    epsilon: eps1,
+                    method: method.clone(),
+                    make_transmittable: true,
+                },
+            );
+            composer.absorb(initial.ledger.clone());
+            (initial.assignment, initial.lp_lower_bound)
+        }
+    };
+    stages.push(StageRecord {
+        name: "part I: initial fractional solution".to_owned(),
+        size: assignment.size(),
+        fractionality: assignment.fractionality(),
+    });
+
+    // Precompute the derandomization structure shared by all rounding steps.
+    let mut nd_ledger = RoundLedger::new();
+    let (decomposition, nd_groups) = precompute_decomposition(graph, config, &mut nd_ledger);
+    composer.absorb(nd_ledger);
+
+    // ---- Parts II and III, every rounding step measured on the engine. ----
+    let assignment = rounding_parts(graph, config, assignment, &mut stages, |problem| {
+        composed_derandomization(
+            &mut composer,
+            graph,
+            problem,
+            config,
+            nd_groups.as_deref(),
+            decomposition.as_ref(),
+        )
+    });
 
     debug_assert!(assignment.is_integral());
     debug_assert!(assignment.is_feasible_dominating_set(graph));
     let dominating_set = assignment.selected_nodes();
-    let _ = n;
+    let composition = composer.finish();
+    MdsResult {
+        dominating_set,
+        assignment,
+        ledger: composition.ledger,
+        stages,
+        phases: composition.phases,
+        lp_lower_bound,
+        epsilon: config.epsilon,
+    }
+}
+
+/// The pure in-memory implementation of the pipeline: identical decisions,
+/// no engine. Retained as the oracle every composed run is property-tested
+/// equal to (`tests/properties.rs`), and usable where no executor is wanted.
+pub fn central_oracle(graph: &Graph, config: &MdsConfig) -> MdsResult {
+    let mut ledger = RoundLedger::new();
+    let mut stages = Vec::new();
+
+    // ---- Part I: initial fractional solution (Lemma 2.1). ----
+    let eps1 = (config.epsilon / 4.0).clamp(1e-3, 0.25);
+    let initial = initial_fractional_solution(
+        graph,
+        &InitialSolutionConfig {
+            epsilon: eps1,
+            method: config.fractional.clone(),
+            make_transmittable: true,
+        },
+    );
+    ledger.absorb(initial.ledger.clone());
+    let assignment = initial.assignment;
+    stages.push(StageRecord {
+        name: "part I: initial fractional solution".to_owned(),
+        size: assignment.size(),
+        fractionality: assignment.fractionality(),
+    });
+
+    // Precompute the derandomization structure shared by all rounding steps.
+    let (decomposition, nd_groups) = precompute_decomposition(graph, config, &mut ledger);
+
+    // ---- Parts II and III, every rounding step evaluated centrally. ----
+    let assignment = rounding_parts(graph, config, assignment, &mut stages, |problem| {
+        let (groups, charge) = derandomization_groups(
+            graph,
+            problem,
+            config,
+            nd_groups.as_deref(),
+            decomposition.as_ref(),
+        );
+        ledger.absorb(charge);
+        derandomize(
+            problem,
+            &DerandomizeConfig {
+                estimator: config.estimator,
+                groups: Some(groups),
+            },
+        )
+        .output
+    });
+
+    debug_assert!(assignment.is_integral());
+    debug_assert!(assignment.is_feasible_dominating_set(graph));
+    let dominating_set = assignment.selected_nodes();
     MdsResult {
         dominating_set,
         assignment,
         ledger,
         stages,
+        phases: Vec::new(),
         lp_lower_bound: initial.lp_lower_bound,
         epsilon: config.epsilon,
     }
-}
-
-/// Computes the coin-fixing groups for one rounding step and the round charge
-/// for setting them up and using them.
-fn derandomization_groups(
-    graph: &Graph,
-    problem: &RoundingProblem,
-    config: &MdsConfig,
-    nd_groups: Option<&[Vec<usize>]>,
-    decomposition: Option<&mds_decomposition::NetworkDecomposition>,
-) -> (Vec<Vec<usize>>, RoundLedger) {
-    let n = graph.n().max(2);
-    let mut ledger = RoundLedger::new();
-    match &config.route {
-        DerandRoute::NetworkDecomposition { .. } => {
-            let nd = decomposition.expect("decomposition precomputed for this route");
-            let groups = nd_groups.expect("groups precomputed").to_vec();
-            ledger.charge_with_formula(
-                "derandomization via network decomposition (Lemma 3.4)",
-                groups.iter().map(|g| g.len() as u64).sum::<u64>() * (nd.diameter() as u64 + 1),
-                formulas::netdecomp_derandomization_rounds(n, nd.num_colors(), nd.diameter() + 1),
-                problem.values.len() as u64 * 2,
-            );
-            (groups, ledger)
-        }
-        DerandRoute::Coloring | DerandRoute::ColoringLocal => {
-            let (coloring, bipartite) = color_problem(problem);
-            ledger.absorb(coloring.ledger.clone());
-            let local = matches!(config.route, DerandRoute::ColoringLocal);
-            let formula = if local {
-                // Corollary 1.3: the coloring can be computed in
-                // O(F·Δ + log* n) rounds in the LOCAL model.
-                (bipartite.max_left_degree() * graph.max_degree().max(1)) as u64
-                    + formulas::log_star(n) as u64
-                    + formulas::coloring_derandomization_rounds(coloring.num_colors)
-            } else {
-                formulas::coloring_derandomization_rounds(coloring.num_colors)
-            };
-            ledger.charge_with_formula(
-                "derandomization via distance-two coloring (Lemma 3.10)",
-                coloring.num_colors as u64 * 2,
-                formula,
-                problem.values.len() as u64 * 2,
-            );
-            (coloring.classes(), ledger)
-        }
-    }
-}
-
-/// Builds the constraint/value bipartite graph of a rounding problem and
-/// colors its participating value nodes (Lemma 3.12 applied to the problem).
-fn color_problem(problem: &RoundingProblem) -> (BipartiteColoring, BipartiteGraph) {
-    let mut b = BipartiteGraph::new(problem.constraints.len(), problem.values.len());
-    for (ci, c) in problem.constraints.iter().enumerate() {
-        for &m in &c.members {
-            b.add_edge(ci, m);
-        }
-    }
-    let targets = problem.participating_values();
-    let coloring = bipartite_distance_two_coloring(&b, &targets, problem.n_original.max(2));
-    (coloring, b)
 }
 
 /// A measured CONGEST baseline run: the distributed span-greedy executed on
@@ -372,18 +629,28 @@ pub fn greedy_baseline(graph: &Graph) -> BaselineRun {
 
 /// Theorem 1.1: the network-decomposition route.
 pub fn theorem_1_1(graph: &Graph, config: &MdsConfig) -> MdsResult {
+    theorem_1_1_on(graph, config, &SyncExecutor)
+}
+
+/// Theorem 1.1 on an arbitrary [`Executor`].
+pub fn theorem_1_1_on<E: Executor>(graph: &Graph, config: &MdsConfig, executor: &E) -> MdsResult {
     let mut config = config.clone();
     if !matches!(config.route, DerandRoute::NetworkDecomposition { .. }) {
         config.route = DerandRoute::NetworkDecomposition { k: 2 };
     }
-    run(graph, &config)
+    run_on(graph, &config, executor)
 }
 
 /// Theorem 1.2: the coloring route (CONGEST).
 pub fn theorem_1_2(graph: &Graph, config: &MdsConfig) -> MdsResult {
+    theorem_1_2_on(graph, config, &SyncExecutor)
+}
+
+/// Theorem 1.2 on an arbitrary [`Executor`].
+pub fn theorem_1_2_on<E: Executor>(graph: &Graph, config: &MdsConfig, executor: &E) -> MdsResult {
     let mut config = config.clone();
     config.route = DerandRoute::Coloring;
-    run(graph, &config)
+    run_on(graph, &config, executor)
 }
 
 /// Corollary 1.3: the coloring route with LOCAL-model accounting.
@@ -397,9 +664,14 @@ pub fn corollary_1_3(graph: &Graph, config: &MdsConfig) -> MdsResult {
 mod tests {
     use super::*;
     use crate::verify::is_dominating_set;
+    use congest_sim::{ParallelExecutor, PhaseMode};
     use mds_graphs::generators;
 
     fn quick_config() -> MdsConfig {
+        MdsConfig::default()
+    }
+
+    fn central_mwu_config() -> MdsConfig {
         MdsConfig {
             fractional: FractionalMethod::Mwu(mds_fractional::lp::LpConfig {
                 epsilon: 0.2,
@@ -437,6 +709,78 @@ mod tests {
         let local = corollary_1_3(&g, &quick_config());
         // Same algorithm, same output; only the round accounting differs.
         assert_eq!(congest.dominating_set, local.dominating_set);
+    }
+
+    #[test]
+    fn composed_run_matches_central_oracle_on_both_routes_and_executors() {
+        for seed in 0..3 {
+            let g = generators::gnp(45, 0.1, seed + 30);
+            for config in [quick_config(), central_mwu_config()] {
+                for route in [
+                    DerandRoute::NetworkDecomposition { k: 2 },
+                    DerandRoute::Coloring,
+                ] {
+                    let config = MdsConfig {
+                        route: route.clone(),
+                        ..config.clone()
+                    };
+                    let oracle = central_oracle(&g, &config);
+                    let sync = run(&g, &config);
+                    let par = run_on(&g, &config, &ParallelExecutor::new(3));
+                    assert_eq!(
+                        sync.dominating_set, oracle.dominating_set,
+                        "seed {seed}, route {route:?}"
+                    );
+                    assert_eq!(sync.assignment, oracle.assignment);
+                    assert_eq!(sync.stages, oracle.stages);
+                    assert_eq!(par.dominating_set, oracle.dominating_set);
+                    assert_eq!(par.ledger, sync.ledger);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_route_derandomization_rounds_equal_the_paper_formula() {
+        let g = generators::gnp(50, 0.1, 4);
+        let result = theorem_1_2(&g, &quick_config());
+        let measured: Vec<_> = result
+            .ledger
+            .phases()
+            .iter()
+            .filter(|p| p.name.contains("coloring (Lemma 3.10) (measured)"))
+            .collect();
+        assert!(!measured.is_empty(), "no measured derandomization phase");
+        for phase in measured {
+            // 2 rounds per color class: measured == Lemma 3.10's O(C) bound
+            // with the exact constant.
+            assert_eq!(phase.formula_rounds, Some(phase.simulated_rounds));
+        }
+    }
+
+    #[test]
+    fn mwu_phase_is_measured_and_below_the_kmw_charge() {
+        let g = generators::gnp(50, 0.1, 5);
+        let result = theorem_1_2(&g, &quick_config());
+        let mwu = result
+            .ledger
+            .phases()
+            .iter()
+            .find(|p| p.name == "part I: distributed MWU covering LP (measured)")
+            .expect("measured MWU phase present");
+        assert!(mwu.simulated_rounds > 0);
+        // Measured rounds stay below the paper's O(ε⁻⁴ log² Δ) bound.
+        assert!(mwu.formula_rounds.unwrap() >= mwu.simulated_rounds);
+        assert_eq!(mwu.simulated_rounds % 4, 1, "4T + 1 rounds");
+        // The phase trace exposes the same information structurally: the MWU
+        // phase and at least one derandomization phase ran on the engine.
+        assert!(result.phases.iter().any(|p| p.mode == PhaseMode::Measured));
+        assert!(result.measured_engine_rounds() >= mwu.simulated_rounds);
+        assert_eq!(
+            central_oracle(&g, &quick_config()).measured_engine_rounds(),
+            0,
+            "the oracle never touches the engine"
+        );
     }
 
     #[test]
@@ -496,7 +840,7 @@ mod tests {
     #[test]
     fn doubling_loop_runs_when_concentration_scale_is_tiny() {
         let g = generators::gnp(60, 0.2, 8);
-        let mut config = quick_config();
+        let mut config = central_mwu_config();
         config.concentration_scale = 0.002;
         let result = theorem_1_1(&g, &config);
         let doubling_stages = result
@@ -523,7 +867,7 @@ mod tests {
             baseline.rounds,
             "4P+1 formula equals the measured rounds"
         );
-        // Comparable against the pipeline's charged ledger.
+        // Comparable against the pipeline's composed ledger.
         let pipeline = theorem_1_2(&g, &quick_config());
         assert!(pipeline.ledger.total_formula_rounds() > 0);
     }
@@ -533,6 +877,8 @@ mod tests {
         let g = congest_sim::Graph::empty(0);
         let result = run(&g, &quick_config());
         assert!(result.dominating_set.is_empty());
+        let oracle = central_oracle(&g, &quick_config());
+        assert_eq!(result.dominating_set, oracle.dominating_set);
     }
 
     #[test]

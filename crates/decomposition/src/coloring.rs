@@ -5,7 +5,7 @@
 //! must not share a constraint (i.e. they are at distance > 2 in the bipartite
 //! constraint/value graph). Lemma 3.12 colors the right-hand side of a
 //! bipartite graph with at most `Δ_L·Δ_R` colors in
-//! `O(Δ_L·Δ_R + Δ_L·log* n)` CONGEST rounds via [BEK15]; as documented in
+//! `O(Δ_L·Δ_R + Δ_L·log* n)` CONGEST rounds via \[BEK15\]; as documented in
 //! `DESIGN.md` (substitution R4) we obtain the same number of colors with a
 //! deterministic identifier-ordered greedy on the conflict graph and charge
 //! the paper's round formula to the ledger.

@@ -2,7 +2,7 @@
 //!
 //! Theorem 1.4 connects the clusters of the dominating set through a sparse
 //! spanning subgraph of the cluster graph. The paper uses the Baswana–Sen
-//! cluster-sampling spanner [BS07], derandomized as in [GK18]. This module
+//! cluster-sampling spanner \[BS07\], derandomized as in \[GK18\]. This module
 //! provides:
 //!
 //! * [`baswana_sen_spanner`] — the classic randomized algorithm with

@@ -5,7 +5,7 @@
 //! The algorithm is parameterized by `k`; it runs `O(k²)` rounds and computes
 //! a fractional dominating set whose size is `O(k·Δ̃^{2/k})` times the LP
 //! optimum. With `k = Θ(log Δ̃)` this is an `O(log Δ̃)`-approximation. The
-//! paper's Lemma 2.1 uses the stronger `(1+ε)` algorithm of [KMW06]; this
+//! paper's Lemma 2.1 uses the stronger `(1+ε)` algorithm of \[KMW06\]; this
 //! module serves as the *purely local* ablation (experiment E9) and as the
 //! workspace's reference implementation of a non-trivial [`NodeProgram`].
 //!

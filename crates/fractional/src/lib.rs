@@ -9,7 +9,7 @@
 //!   with `2^-ι ≤ n^-10`, Section 2).
 //! * [`lp`] — a `(1+ε)`-approximate fractional dominating set via a
 //!   multiplicative-weights covering-LP solver; the quality stand-in for the
-//!   [KMW06] algorithm invoked by Lemma 2.1 (substitution R1 in `DESIGN.md`).
+//!   \[KMW06\] algorithm invoked by Lemma 2.1 (substitution R1 in `DESIGN.md`).
 //! * [`kw05`] — the strictly local, constant-time fractional algorithm of
 //!   Kuhn–Wattenhofer (2005), implemented as a genuine message-passing
 //!   [`congest_sim::NodeProgram`]; used as the "purely local" ablation.

@@ -23,10 +23,33 @@
 //! The caller supplies the groups (and the per-group round cost is accounted
 //! by the caller); this module guarantees the size bound regardless of the
 //! grouping.
+//!
+//! Two executions of the same decision rule are provided:
+//!
+//! * [`derandomize`] — the **central oracle**: fixes the coins group by group
+//!   in one loop.
+//! * [`ScheduledDerandProgram`] / [`distributed_derandomize_on`] — the
+//!   **measured** CONGEST execution: the groups become the *steps* of a
+//!   [`DerandSchedule`], and each step spends exactly two engine rounds —
+//!   constraint owners send the two estimator branches (coin taken / coin
+//!   zeroed) of each deciding member, the deciders pick the branch that does
+//!   not increase the estimator and announce the fixed coin. Under the
+//!   Theorem 1.2 route the steps are distance-two color classes (whole
+//!   classes decide in parallel); under the Theorem 1.1 route the steps
+//!   serialize each cluster's members, cluster by cluster in color order.
+//!   Both paths evaluate [`crate::estimator::member_violation_probability`]
+//!   over the same member order, so the engine output is bit-identical to the
+//!   central oracle (proptest-enforced in `tests/properties.rs`).
 
-use crate::estimator::{CoinState, Estimator, EstimatorKind};
-use crate::problem::RoundingProblem;
+use crate::estimator::{member_violation_probability, CoinState, Estimator, EstimatorKind};
+use crate::problem::{RoundingProblem, ValueNode};
 use crate::process::{execute_with_coins, RoundedOutcome};
+use congest_sim::ledger::formulas;
+use congest_sim::{
+    ExecutionError, Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeId,
+    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor,
+};
+use mds_fractional::FractionalAssignment;
 
 /// Configuration of [`derandomize`].
 #[derive(Debug, Clone, Default)]
@@ -134,6 +157,568 @@ pub fn derandomize(problem: &RoundingProblem, config: &DerandomizeConfig) -> Der
         coins,
         coins_fixed,
     }
+}
+
+/// The processing schedule of the distributed conditional expectations: step
+/// `t` lists the value nodes that fix their coins during engine rounds
+/// `2t+1` / `2t+2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerandSchedule {
+    /// Value-node indices per step, in processing order.
+    pub steps: Vec<Vec<usize>>,
+}
+
+impl DerandSchedule {
+    /// A schedule processing the groups as parallel steps (the Lemma 3.10
+    /// coloring route: one step per distance-two color class). Members that
+    /// do not participate in the rounding are dropped.
+    pub fn parallel_groups(groups: &[Vec<usize>], problem: &RoundingProblem) -> Self {
+        DerandSchedule {
+            steps: groups
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .copied()
+                        .filter(|&i| problem.values[i].participates())
+                        .collect()
+                })
+                .filter(|s: &Vec<usize>| !s.is_empty())
+                .collect(),
+        }
+    }
+
+    /// A schedule fixing one coin per step, in the order the groups list them
+    /// (the Lemma 3.4 decomposition route: members decide sequentially
+    /// through their cluster leader, cluster by cluster in color order).
+    pub fn sequential_groups(groups: &[Vec<usize>], problem: &RoundingProblem) -> Self {
+        DerandSchedule {
+            steps: groups
+                .iter()
+                .flatten()
+                .copied()
+                .filter(|&i| problem.values[i].participates())
+                .map(|i| vec![i])
+                .collect(),
+        }
+    }
+
+    /// Number of steps (each costs two engine rounds).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule fixes no coin at all.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The central grouping equivalent to this schedule, for driving the
+    /// [`derandomize`] oracle with exactly the same processing order.
+    pub fn as_groups(&self) -> Vec<Vec<usize>> {
+        self.steps.clone()
+    }
+}
+
+/// Messages of the distributed conditional-expectation schedule.
+///
+/// A reply carries the two estimator branches as full 64-bit values and is
+/// charged honestly at `2 + 128` bits. That is `O(log n)` in the model sense
+/// (the paper transmits conditional expectations rounded to multiples of
+/// `n^-10`, i.e. `Θ(log n)` bits each), but it exceeds the simulator's
+/// default budget of 16 identifiers on networks smaller than `n = 2^9` — the
+/// run report counts those as bandwidth violations rather than hiding them
+/// behind an undersized charge. A strict-CONGEST deployment would spread the
+/// two branches over the step's two rounds or halve the precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DerandMessage {
+    /// Owner → deciding member: the estimator value of the owner's constraint
+    /// with the member's coin fixed to each branch.
+    Reply {
+        /// Violation probability if the member takes its coin.
+        take: f64,
+        /// Violation probability if the member zeroes its coin.
+        zero: f64,
+    },
+    /// Decider → neighbors: the coin was fixed to this branch.
+    Announce {
+        /// `true` for [`CoinState::Take`], `false` for [`CoinState::Zero`].
+        take: bool,
+    },
+}
+
+impl MessageSize for DerandMessage {
+    fn size_bits(&self) -> usize {
+        match self {
+            DerandMessage::Reply { .. } => 2 + 64 + 64,
+            DerandMessage::Announce { .. } => 3,
+        }
+    }
+}
+
+/// A member of a constraint, as tracked by the constraint's owner.
+#[derive(Debug, Clone)]
+struct MemberState {
+    /// The member's node id (equal to its value-node index).
+    id: usize,
+    value: ValueNode,
+    /// The schedule step in which the member decides, if it participates.
+    step: Option<usize>,
+    coin: CoinState,
+}
+
+/// A constraint owned by the executing node.
+#[derive(Debug, Clone)]
+struct OwnedConstraint {
+    c: f64,
+    members: Vec<MemberState>,
+}
+
+impl OwnedConstraint {
+    /// The two estimator branches for the member at `target_id`, evaluated in
+    /// member-list order — the same kernel and order as the central oracle.
+    fn branches(&self, kind: EstimatorKind, target_id: usize) -> (f64, f64) {
+        let branch = |forced: CoinState| {
+            member_violation_probability(
+                kind,
+                self.members.iter().map(|m| {
+                    let coin = if m.id == target_id { forced } else { m.coin };
+                    (&m.value, coin)
+                }),
+                self.c,
+            )
+        };
+        (branch(CoinState::Take), branch(CoinState::Zero))
+    }
+
+    fn violated(&self) -> bool {
+        let coverage: f64 = self
+            .members
+            .iter()
+            .map(|m| realised_value(&m.value, m.coin))
+            .sum();
+        coverage < self.c - 1e-9
+    }
+}
+
+/// The phase-one realisation of a value node under a fixed coin — the same
+/// rule as [`crate::process::execute_with_coins`].
+fn realised_value(value: &ValueNode, coin: CoinState) -> f64 {
+    if value.participates() {
+        match coin {
+            CoinState::Take => value.raised_value(),
+            CoinState::Zero => 0.0,
+            CoinState::Undecided => panic!("participating value node left undecided"),
+        }
+    } else if value.p >= 1.0 {
+        value.x
+    } else {
+        0.0
+    }
+}
+
+/// Local output of [`ScheduledDerandProgram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledDerandOutput {
+    /// The node's realised phase-one value.
+    pub realised: f64,
+    /// Whether one of the node's own constraints ended up violated (the node
+    /// then joins the dominating set in phase two).
+    pub violated_owner: bool,
+}
+
+/// Per-node state machine of the distributed conditional expectations.
+///
+/// Rounds alternate between *reply* rounds (even engine rounds, including
+/// `init`: every constraint owner sends the deciding members of the upcoming
+/// step their two estimator branches) and *decide* rounds (odd engine rounds:
+/// the deciders aggregate the replies of all constraints they appear in — in
+/// constraint order, merging their own constraints at the owner's position —
+/// pick the branch that does not increase the estimator, and announce the
+/// fixed coin). After `2·steps` rounds every owner knows all member coins,
+/// evaluates its constraints, and halts. Build instances with
+/// [`scheduled_derand_programs`].
+#[derive(Debug, Clone)]
+pub struct ScheduledDerandProgram {
+    estimator: EstimatorKind,
+    num_steps: usize,
+    value: ValueNode,
+    my_step: Option<usize>,
+    coin: CoinState,
+    owned: Vec<OwnedConstraint>,
+}
+
+impl ScheduledDerandProgram {
+    /// Queues the reply messages for the deciders of `step`; the executing
+    /// node's own decisions are evaluated locally at decision time instead.
+    fn send_replies(
+        &self,
+        ctx: &NodeContext<'_>,
+        outbox: &mut Outbox<'_, DerandMessage>,
+        step: usize,
+    ) {
+        for constraint in &self.owned {
+            for member in &constraint.members {
+                if member.step == Some(step) && member.id != ctx.id.0 {
+                    let (take, zero) = constraint.branches(self.estimator, member.id);
+                    outbox.send(NodeId(member.id), DerandMessage::Reply { take, zero });
+                }
+            }
+        }
+    }
+
+    /// The summed estimator branches of the executing node's own constraints
+    /// that contain the node itself, in owned order.
+    fn own_branches(&self, my_id: usize) -> (f64, f64) {
+        let mut take = 0.0f64;
+        let mut zero = 0.0f64;
+        for constraint in &self.owned {
+            if constraint.members.iter().any(|m| m.id == my_id) {
+                let (t, z) = constraint.branches(self.estimator, my_id);
+                take += t;
+                zero += z;
+            }
+        }
+        (take, zero)
+    }
+
+    fn record_coin(&mut self, id: usize, coin: CoinState) {
+        for constraint in self.owned.iter_mut() {
+            for member in constraint.members.iter_mut() {
+                if member.id == id {
+                    member.coin = coin;
+                }
+            }
+        }
+    }
+
+    fn finalize(&self) -> ScheduledDerandOutput {
+        ScheduledDerandOutput {
+            realised: realised_value(&self.value, self.coin),
+            violated_owner: self.owned.iter().any(OwnedConstraint::violated),
+        }
+    }
+}
+
+impl NodeProgram for ScheduledDerandProgram {
+    type Message = DerandMessage;
+    type Output = ScheduledDerandOutput;
+
+    fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, DerandMessage>) {
+        if self.num_steps > 0 {
+            self.send_replies(ctx, outbox, 0);
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<'_, DerandMessage>,
+        outbox: &mut Outbox<'_, DerandMessage>,
+    ) -> RoundAction<ScheduledDerandOutput> {
+        if self.num_steps == 0 {
+            return RoundAction::Halt(self.finalize());
+        }
+        let round = ctx.round;
+        if round % 2 == 1 {
+            // Decide round for step (round - 1) / 2.
+            let step = ((round - 1) / 2) as usize;
+            if self.my_step == Some(step) {
+                // Aggregate the constraint terms in constraint-index order:
+                // owners reply in increasing id, and the problem lists every
+                // owner's constraints consecutively, so merging the own
+                // contribution at the own-id position reproduces the central
+                // oracle's summation order exactly.
+                let my_id = ctx.id.0;
+                let mut take_total = self.value.raised_value();
+                let mut zero_total = 0.0f64;
+                let mut merged_own = false;
+                for (sender, msg) in inbox.iter() {
+                    if let DerandMessage::Reply { take, zero } = msg {
+                        if !merged_own && sender.0 > my_id {
+                            let (t, z) = self.own_branches(my_id);
+                            take_total += t;
+                            zero_total += z;
+                            merged_own = true;
+                        }
+                        take_total += take;
+                        zero_total += zero;
+                    }
+                }
+                if !merged_own {
+                    let (t, z) = self.own_branches(my_id);
+                    take_total += t;
+                    zero_total += z;
+                }
+                self.coin = if take_total < zero_total {
+                    CoinState::Take
+                } else {
+                    CoinState::Zero
+                };
+                self.record_coin(my_id, self.coin);
+                outbox.broadcast(DerandMessage::Announce {
+                    take: self.coin == CoinState::Take,
+                });
+            }
+            RoundAction::Continue
+        } else {
+            // Absorb round for step (round / 2) - 1.
+            let step = (round / 2) as usize - 1;
+            for (sender, msg) in inbox.iter() {
+                if let DerandMessage::Announce { take } = msg {
+                    let coin = if *take {
+                        CoinState::Take
+                    } else {
+                        CoinState::Zero
+                    };
+                    self.record_coin(sender.0, coin);
+                }
+            }
+            if step + 1 < self.num_steps {
+                self.send_replies(ctx, outbox, step + 1);
+                RoundAction::Continue
+            } else {
+                RoundAction::Halt(self.finalize())
+            }
+        }
+    }
+}
+
+/// Validates `problem` against the locality assumptions of the distributed
+/// schedule and builds one [`ScheduledDerandProgram`] per node.
+///
+/// The problem must be *graph-aligned*, which all three rounding
+/// instantiations of the pipeline are: one value node per original node (in
+/// node order), every constraint's members inside the owner's inclusive
+/// neighborhood, and at most one constraint per (owner, member) pair (so a
+/// single reply per owner carries the whole estimator delta). The schedule
+/// must fix every participating coin exactly once, and the members of one
+/// step must not share a constraint — the independence that makes parallel
+/// fixing equal to the central sequential rule.
+///
+/// # Errors
+///
+/// Returns a description of the violated assumption.
+pub fn scheduled_derand_programs(
+    graph: &Graph,
+    problem: &RoundingProblem,
+    schedule: &DerandSchedule,
+    estimator: EstimatorKind,
+) -> Result<Vec<ScheduledDerandProgram>, String> {
+    let n = graph.n();
+    if problem.n_original != n || problem.values.len() != n {
+        return Err(format!(
+            "problem is not graph-aligned: {} values over {} original nodes for an {n}-node graph",
+            problem.values.len(),
+            problem.n_original
+        ));
+    }
+    for (i, v) in problem.values.iter().enumerate() {
+        if v.original != i {
+            return Err(format!(
+                "value node {i} belongs to original node {}; expected one value per node",
+                v.original
+            ));
+        }
+    }
+
+    // Assign steps and check the schedule covers participants exactly once.
+    let mut step_of: Vec<Option<usize>> = vec![None; n];
+    for (s, step) in schedule.steps.iter().enumerate() {
+        for &i in step {
+            if i >= n {
+                return Err(format!("scheduled value node {i} out of range"));
+            }
+            if !problem.values[i].participates() {
+                return Err(format!("scheduled value node {i} does not flip a coin"));
+            }
+            if step_of[i].is_some() {
+                return Err(format!("value node {i} scheduled twice"));
+            }
+            step_of[i] = Some(s);
+        }
+    }
+    for (i, v) in problem.values.iter().enumerate() {
+        if v.participates() && step_of[i].is_none() {
+            return Err(format!("participating value node {i} never scheduled"));
+        }
+    }
+
+    // Locality + (owner, member) uniqueness + same-step independence.
+    let mut owned: Vec<Vec<OwnedConstraint>> = vec![Vec::new(); n];
+    for (ci, c) in problem.constraints.iter().enumerate() {
+        if c.original >= n {
+            return Err(format!("constraint {ci} owner out of range"));
+        }
+        if ci > 0 && c.original < problem.constraints[ci - 1].original {
+            // The deciders aggregate replies in owner order; the central
+            // oracle aggregates in constraint order. The two only coincide
+            // when constraints are grouped by owner in increasing order.
+            return Err(format!(
+                "constraint {ci} breaks the increasing-owner grouping required by the schedule"
+            ));
+        }
+        let owner = NodeId(c.original);
+        let mut steps_seen: Vec<usize> = Vec::new();
+        let mut members = Vec::with_capacity(c.members.len());
+        for &m in &c.members {
+            if m != owner.0 && !graph.has_edge(owner, NodeId(m)) {
+                return Err(format!(
+                    "constraint {ci}: member {m} is not in the inclusive neighborhood of owner {owner}"
+                ));
+            }
+            if owned[owner.0]
+                .iter()
+                .any(|oc| oc.members.iter().any(|om| om.id == m))
+            {
+                return Err(format!(
+                    "owner {owner} has several constraints containing member {m}"
+                ));
+            }
+            if let Some(s) = step_of[m] {
+                if steps_seen.contains(&s) {
+                    return Err(format!(
+                        "constraint {ci}: two members decide in step {s}; steps must be independent"
+                    ));
+                }
+                steps_seen.push(s);
+            }
+            members.push(MemberState {
+                id: m,
+                value: problem.values[m].clone(),
+                step: step_of[m],
+                coin: if problem.values[m].participates() {
+                    CoinState::Undecided
+                } else {
+                    CoinState::Zero
+                },
+            });
+        }
+        owned[owner.0].push(OwnedConstraint { c: c.c, members });
+    }
+
+    let num_steps = schedule.steps.len();
+    Ok(owned
+        .into_iter()
+        .enumerate()
+        .map(|(i, owned)| ScheduledDerandProgram {
+            estimator,
+            num_steps,
+            value: problem.values[i].clone(),
+            my_step: step_of[i],
+            coin: if problem.values[i].participates() {
+                CoinState::Undecided
+            } else {
+                CoinState::Zero
+            },
+            owned,
+        })
+        .collect())
+}
+
+/// Outcome of a distributed derandomization run on the engine.
+#[derive(Debug, Clone)]
+pub struct DistributedDerandOutcome {
+    /// The rounded assignment on the original graph (identical to the central
+    /// oracle's [`DerandomizedOutcome::output`]).
+    pub output: FractionalAssignment,
+    /// Owners whose constraints ended up violated (they joined in phase two).
+    pub violated_owners: Vec<usize>,
+    /// The engine report (rounds, messages, bandwidth, per-round stats).
+    pub report: RunReport<ScheduledDerandOutput>,
+    /// Measured accounting: `2·steps` rounds through the unified path.
+    pub ledger: RoundLedger,
+    /// Number of schedule steps that were executed.
+    pub steps: usize,
+}
+
+/// Assembles the output assignment from the per-node engine outputs, exactly
+/// as [`crate::problem::RoundingProblem::assemble_output`] does centrally.
+pub fn assemble_derand_outputs(
+    outputs: &[ScheduledDerandOutput],
+) -> (FractionalAssignment, Vec<usize>) {
+    let values: Vec<f64> = outputs
+        .iter()
+        .map(|o| {
+            if o.violated_owner {
+                1.0
+            } else {
+                o.realised.min(1.0)
+            }
+        })
+        .collect();
+    let violated: Vec<usize> = outputs
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.violated_owner)
+        .map(|(v, _)| v)
+        .collect();
+    (FractionalAssignment::from_values(values), violated)
+}
+
+/// Runs the distributed conditional-expectation schedule on the sequential
+/// executor.
+///
+/// # Errors
+///
+/// Returns the validation error of [`scheduled_derand_programs`] or a
+/// formatted engine error.
+pub fn distributed_derandomize(
+    graph: &Graph,
+    problem: &RoundingProblem,
+    schedule: &DerandSchedule,
+    estimator: EstimatorKind,
+) -> Result<DistributedDerandOutcome, String> {
+    distributed_derandomize_on(
+        graph,
+        problem,
+        schedule,
+        estimator,
+        &SyncExecutor,
+        &ExecutorConfig::default(),
+    )
+}
+
+/// Runs the distributed conditional-expectation schedule on an arbitrary
+/// [`Executor`]. Outputs and accounting are identical across executors.
+///
+/// # Errors
+///
+/// Returns the validation error of [`scheduled_derand_programs`] or a
+/// formatted engine error.
+pub fn distributed_derandomize_on<E: Executor>(
+    graph: &Graph,
+    problem: &RoundingProblem,
+    schedule: &DerandSchedule,
+    estimator: EstimatorKind,
+    executor: &E,
+    config: &ExecutorConfig,
+) -> Result<DistributedDerandOutcome, String> {
+    let programs = scheduled_derand_programs(graph, problem, schedule, estimator)?;
+    let report = executor
+        .run(graph, programs, config)
+        .map_err(|e: ExecutionError| e.to_string())?;
+    let (output, violated_owners) = assemble_derand_outputs(&report.outputs);
+    let mut ledger = RoundLedger::new();
+    // An empty schedule still spends one real round evaluating the
+    // constraints; charge that round rather than the formula's zero so the
+    // paper column never under-reports executed work.
+    let formula = if schedule.is_empty() {
+        report.rounds
+    } else {
+        formulas::derandomization_schedule_rounds(schedule.len() as u64)
+    };
+    report.charge_with_formula(
+        &mut ledger,
+        "scheduled conditional expectations (measured)",
+        formula,
+    );
+    Ok(DistributedDerandOutcome {
+        output,
+        violated_owners,
+        report,
+        ledger,
+        steps: schedule.len(),
+    })
 }
 
 #[cfg(test)]
@@ -256,5 +841,207 @@ mod tests {
         assert_eq!(out.coins_fixed, 0);
         assert!(out.violated_constraints.is_empty());
         assert!((out.output_size() - 0.4).abs() < 1e-12);
+    }
+
+    // ---- distributed schedule ----
+
+    use crate::one_shot::OneShotRounding;
+    use mds_graphs::generators;
+
+    /// A graph-aligned one-shot problem plus a parallel schedule derived from
+    /// a greedy distance-two coloring of the constraint/value graph.
+    fn one_shot_setup(
+        graph: &congest_sim::Graph,
+    ) -> (RoundingProblem, DerandSchedule, Vec<Vec<usize>>) {
+        let x = mds_fractional::lp::degree_heuristic(graph);
+        let problem = OneShotRounding::on_graph(graph, &x).into_problem();
+        // Greedy distance-two coloring over the constraint graph: same-color
+        // values never share a constraint.
+        let constraints_of = problem.constraints_of_values();
+        let participating = problem.participating_values();
+        let mut color = vec![usize::MAX; problem.values.len()];
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for &i in &participating {
+            let mut forbidden: Vec<usize> = Vec::new();
+            for &ci in &constraints_of[i] {
+                for &m in &problem.constraints[ci].members {
+                    if m != i && color[m] != usize::MAX {
+                        forbidden.push(color[m]);
+                    }
+                }
+            }
+            let mut c = 0;
+            while forbidden.contains(&c) {
+                c += 1;
+            }
+            color[i] = c;
+            if c == classes.len() {
+                classes.push(Vec::new());
+            }
+            classes[c].push(i);
+        }
+        let schedule = DerandSchedule::parallel_groups(&classes, &problem);
+        (problem, schedule, classes)
+    }
+
+    #[test]
+    fn parallel_schedule_matches_central_oracle_bit_for_bit() {
+        for seed in 0..5 {
+            let graph = generators::gnp(40, 0.12, seed);
+            let (problem, schedule, classes) = one_shot_setup(&graph);
+            let central = derandomize(
+                &problem,
+                &DerandomizeConfig {
+                    estimator: EstimatorKind::default(),
+                    groups: Some(classes),
+                },
+            );
+            let distributed =
+                distributed_derandomize(&graph, &problem, &schedule, EstimatorKind::default())
+                    .unwrap();
+            assert_eq!(
+                distributed.output.values(),
+                central.output.values(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                distributed.violated_owners,
+                central
+                    .violated_constraints
+                    .iter()
+                    .map(|&ci| problem.constraints[ci].original)
+                    .collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+            // Exactly two rounds per schedule step, as the formula states.
+            assert_eq!(
+                distributed.report.rounds,
+                congest_sim::ledger::formulas::derandomization_schedule_rounds(
+                    schedule.len() as u64
+                ),
+                "seed {seed}"
+            );
+            // A reply carries two 64-bit estimator branches, charged
+            // honestly; at n = 40 that exceeds the 16-identifier default
+            // budget, and the report records (not hides) the violations.
+            assert_eq!(distributed.report.max_message_bits, 2 + 128, "seed {seed}");
+            assert!(distributed.report.bandwidth_violations > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sequential_schedule_matches_central_oracle_and_parallel_output() {
+        for seed in [3u64, 11] {
+            let graph = generators::gnp(30, 0.15, seed);
+            let (problem, parallel, _) = one_shot_setup(&graph);
+            // Sequential singleton schedule in index order (the Theorem 1.1
+            // shape) against the central oracle with the same order.
+            let order: Vec<Vec<usize>> = vec![problem.participating_values()];
+            let schedule = DerandSchedule::sequential_groups(&order, &problem);
+            let central = derandomize(
+                &problem,
+                &DerandomizeConfig {
+                    estimator: EstimatorKind::default(),
+                    groups: Some(schedule.as_groups()),
+                },
+            );
+            let distributed =
+                distributed_derandomize(&graph, &problem, &schedule, EstimatorKind::default())
+                    .unwrap();
+            assert_eq!(distributed.output.values(), central.output.values());
+            assert_eq!(
+                distributed.report.rounds,
+                2 * problem.participating_values().len() as u64
+            );
+            // Different schedules may fix different coins, but both respect
+            // the expectation bound and stay feasible.
+            let via_parallel =
+                distributed_derandomize(&graph, &problem, &parallel, EstimatorKind::default())
+                    .unwrap();
+            assert!(via_parallel.output.is_feasible_dominating_set(&graph));
+            assert!(distributed.output.is_feasible_dominating_set(&graph));
+        }
+    }
+
+    #[test]
+    fn distributed_schedule_is_identical_on_both_executors() {
+        let graph = generators::gnp(35, 0.12, 8);
+        let (problem, schedule, _) = one_shot_setup(&graph);
+        let seq =
+            distributed_derandomize(&graph, &problem, &schedule, EstimatorKind::default()).unwrap();
+        let par = distributed_derandomize_on(
+            &graph,
+            &problem,
+            &schedule,
+            EstimatorKind::default(),
+            &congest_sim::ParallelExecutor::new(3),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(seq.report, par.report);
+        assert_eq!(seq.output.values(), par.output.values());
+    }
+
+    #[test]
+    fn empty_schedule_executes_the_deterministic_part_only() {
+        let graph = generators::path(4);
+        let mut problem = RoundingProblem::new(4);
+        for v in 0..4 {
+            problem.add_value(v, 0.5, 1.0);
+        }
+        for v in 0..4usize {
+            let members: Vec<usize> = graph
+                .inclusive_neighbors(congest_sim::NodeId(v))
+                .map(|u| u.0)
+                .collect();
+            problem.add_constraint(v, 1.0, members);
+        }
+        let schedule = DerandSchedule { steps: vec![] };
+        let out =
+            distributed_derandomize(&graph, &problem, &schedule, EstimatorKind::default()).unwrap();
+        assert_eq!(out.report.rounds, 1);
+        let central = derandomize(&problem, &DerandomizeConfig::default());
+        assert_eq!(out.output.values(), central.output.values());
+    }
+
+    #[test]
+    fn validation_rejects_non_local_and_dependent_problems() {
+        let graph = generators::path(4);
+        // Constraint member outside the owner's inclusive neighborhood.
+        let mut problem = RoundingProblem::new(4);
+        for v in 0..4 {
+            problem.add_value(v, 0.3, 0.5);
+        }
+        problem.add_constraint(0, 1.0, vec![0, 3]);
+        let schedule = DerandSchedule::sequential_groups(&[vec![0, 1, 2, 3]], &problem);
+        let err = scheduled_derand_programs(&graph, &problem, &schedule, EstimatorKind::default())
+            .unwrap_err();
+        assert!(err.contains("inclusive neighborhood"), "{err}");
+
+        // Two members of one constraint in the same step.
+        let mut problem = RoundingProblem::new(4);
+        for v in 0..4 {
+            problem.add_value(v, 0.3, 0.5);
+        }
+        problem.add_constraint(1, 1.0, vec![0, 1, 2]);
+        let schedule = DerandSchedule {
+            steps: vec![vec![0, 1], vec![2], vec![3]],
+        };
+        let err = scheduled_derand_programs(&graph, &problem, &schedule, EstimatorKind::default())
+            .unwrap_err();
+        assert!(err.contains("independent"), "{err}");
+
+        // A participating coin the schedule never fixes.
+        let mut problem = RoundingProblem::new(4);
+        for v in 0..4 {
+            problem.add_value(v, 0.3, 0.5);
+        }
+        problem.add_constraint(1, 1.0, vec![0, 1]);
+        let schedule = DerandSchedule {
+            steps: vec![vec![0], vec![1], vec![2]],
+        };
+        let err = scheduled_derand_programs(&graph, &problem, &schedule, EstimatorKind::default())
+            .unwrap_err();
+        assert!(err.contains("never scheduled"), "{err}");
     }
 }

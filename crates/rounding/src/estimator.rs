@@ -25,7 +25,7 @@
 //! * [`EstimatorKind::Auto`] — per constraint: the product form when it is
 //!   exact, otherwise the DP.
 
-use crate::problem::{ConstraintNode, RoundingProblem};
+use crate::problem::{ConstraintNode, RoundingProblem, ValueNode};
 
 /// Tolerance below which a residual constraint counts as satisfied.
 const NEED_TOLERANCE: f64 = 1e-12;
@@ -95,46 +95,14 @@ impl<'a> Estimator<'a> {
     /// An upper bound on the probability that `constraint` is violated after
     /// phase one, given the current coin states.
     pub fn violation_probability(&self, constraint: &ConstraintNode, coins: &[CoinState]) -> f64 {
-        // Deterministic part: non-participating members with p = 1 and fixed
-        // coins.
-        let mut base = 0.0f64;
-        let mut undecided: Vec<(f64, f64)> = Vec::new(); // (p, raised)
-        for &i in &constraint.members {
-            let v = &self.problem.values[i];
-            if !v.participates() {
-                if v.p >= 1.0 {
-                    base += v.x;
-                }
-                continue;
-            }
-            match coins[i] {
-                CoinState::Take => base += v.raised_value(),
-                CoinState::Zero => {}
-                CoinState::Undecided => undecided.push((v.p, v.raised_value())),
-            }
-        }
-        let need = constraint.c - base;
-        if need <= NEED_TOLERANCE {
-            return 0.0;
-        }
-        if undecided.is_empty() {
-            return 1.0;
-        }
-        match self.kind {
-            EstimatorKind::ExactProduct => product_bound(&undecided, need),
-            EstimatorKind::ExactDp { resolution } => dp_bound(&undecided, need, resolution),
-            EstimatorKind::Chernoff => chernoff_bound(&undecided, need),
-            EstimatorKind::Auto { resolution } => {
-                if undecided
-                    .iter()
-                    .all(|&(_, raised)| raised + NEED_TOLERANCE >= need)
-                {
-                    product_bound(&undecided, need)
-                } else {
-                    dp_bound(&undecided, need, resolution)
-                }
-            }
-        }
+        member_violation_probability(
+            self.kind,
+            constraint
+                .members
+                .iter()
+                .map(|&i| (&self.problem.values[i], coins[i])),
+            constraint.c,
+        )
     }
 
     /// The full objective `Σ_i E[X_i] + Σ_j Pr(j violated)` under the coin
@@ -150,6 +118,62 @@ impl<'a> Estimator<'a> {
             .map(|c| self.violation_probability(c, coins))
             .sum();
         values + violations
+    }
+}
+
+/// An upper bound on the probability that a constraint with threshold `c` is
+/// violated, given `(value node, coin state)` pairs for its members *in
+/// member-list order*.
+///
+/// This is the shared computational kernel of the central [`Estimator`] and
+/// of the distributed conditional-expectation schedule
+/// ([`crate::derandomize::ScheduledDerandProgram`]), where each constraint
+/// owner evaluates it from purely local state. Because both paths run the
+/// identical float operations in the identical order, the engine execution is
+/// bit-identical to the central oracle.
+pub fn member_violation_probability<'v>(
+    kind: EstimatorKind,
+    members: impl Iterator<Item = (&'v ValueNode, CoinState)>,
+    c: f64,
+) -> f64 {
+    // Deterministic part: non-participating members with p = 1 and fixed
+    // coins.
+    let mut base = 0.0f64;
+    let mut undecided: Vec<(f64, f64)> = Vec::new(); // (p, raised)
+    for (v, coin) in members {
+        if !v.participates() {
+            if v.p >= 1.0 {
+                base += v.x;
+            }
+            continue;
+        }
+        match coin {
+            CoinState::Take => base += v.raised_value(),
+            CoinState::Zero => {}
+            CoinState::Undecided => undecided.push((v.p, v.raised_value())),
+        }
+    }
+    let need = c - base;
+    if need <= NEED_TOLERANCE {
+        return 0.0;
+    }
+    if undecided.is_empty() {
+        return 1.0;
+    }
+    match kind {
+        EstimatorKind::ExactProduct => product_bound(&undecided, need),
+        EstimatorKind::ExactDp { resolution } => dp_bound(&undecided, need, resolution),
+        EstimatorKind::Chernoff => chernoff_bound(&undecided, need),
+        EstimatorKind::Auto { resolution } => {
+            if undecided
+                .iter()
+                .all(|&(_, raised)| raised + NEED_TOLERANCE >= need)
+            {
+                product_bound(&undecided, need)
+            } else {
+                dp_bound(&undecided, need, resolution)
+            }
+        }
     }
 }
 

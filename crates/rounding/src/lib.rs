@@ -17,7 +17,7 @@
 //!   `E[Σ Z_v] = Σ E[X_v] + Σ Pr(constraint violated)`: the exact product
 //!   form for one-shot rounding, an exact discretized DP, and the
 //!   Chernoff-style pessimistic estimator.
-//! * [`derandomize`] — the method of conditional expectations: fixing the
+//! * [`mod@derandomize`] — the method of conditional expectations: fixing the
 //!   biased coins one group at a time so the estimator never increases
 //!   (Lemmas 3.4 and 3.10; see substitution R3 in `DESIGN.md`).
 //! * [`one_shot`] / [`factor_two`] — the two instantiations of the process

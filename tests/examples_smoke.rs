@@ -87,6 +87,36 @@ fn derandomization_anatomy_example_core_path() {
     // The defining guarantee of the method of conditional expectations: the
     // deterministic outcome never exceeds the initial expectation bound.
     assert!(det.output.size() <= det.initial_estimate + 1e-6);
+
+    // The example's final act: the same decisions as a measured engine run
+    // through the composed-program API, bit-identical to the central oracle.
+    use congest_mds::congest::{ComposedProgram, ExecutorConfig, PhaseSpec, SyncExecutor};
+    use congest_mds::mds::pipeline::color_problem;
+    use congest_mds::rounding::derandomize::{
+        assemble_derand_outputs, scheduled_derand_programs, DerandSchedule,
+    };
+    use congest_mds::rounding::EstimatorKind;
+
+    let (coloring, _bipartite) = color_problem(&problem);
+    let schedule = DerandSchedule::parallel_groups(&coloring.classes(), &problem);
+    let central = derandomize(
+        &problem,
+        &DerandomizeConfig {
+            estimator: EstimatorKind::default(),
+            groups: Some(schedule.as_groups()),
+        },
+    );
+    let mut composed = ComposedProgram::new(&graph, &SyncExecutor, ExecutorConfig::default());
+    composed.absorb(coloring.ledger.clone());
+    let programs = scheduled_derand_programs(&graph, &problem, &schedule, EstimatorKind::default())
+        .expect("one-shot problems are graph-aligned");
+    let report = composed
+        .measured(PhaseSpec::named("measured schedule"), programs)
+        .expect("well-formed program");
+    assert_eq!(report.rounds, 2 * schedule.len() as u64);
+    let (engine_output, _) = assemble_derand_outputs(&report.outputs);
+    assert_eq!(engine_output.values(), central.output.values());
+    assert!(composed.finish().measured_rounds() > 0);
 }
 
 /// Core path of `examples/wireless_clustering.rs`: a unit-disk deployment,

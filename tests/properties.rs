@@ -10,16 +10,33 @@ use congest_mds::decomposition::spanner::{derandomized_spanner, verify_spanner};
 use congest_mds::fractional::lp;
 use congest_mds::fractional::FractionalAssignment;
 use congest_mds::graphs::{analysis, generators, square};
+use congest_mds::mds::pipeline::{self, DerandRoute, MdsConfig};
 use congest_mds::mds::{exact, greedy, verify};
-use congest_mds::rounding::derandomize::{derandomize, DerandomizeConfig};
+use congest_mds::rounding::derandomize::{
+    derandomize, distributed_derandomize_on, DerandSchedule, DerandomizeConfig,
+};
 use congest_mds::rounding::kwise::KWiseGenerator;
 use congest_mds::rounding::one_shot::OneShotRounding;
+use congest_mds::rounding::EstimatorKind;
 use proptest::prelude::*;
 
 /// Strategy: a random graph described by (n, edge probability numerator, seed).
 fn graph_strategy() -> impl Strategy<Value = Graph> {
     (2usize..60, 1u32..30, 0u64..1000)
         .prop_map(|(n, p_num, seed)| generators::gnp(n, p_num as f64 / 100.0, seed))
+}
+
+/// Worker-thread count for the executor-equivalence tests. The proptests
+/// always use multi-block partitions, but on the single-core dev container
+/// the worker threads serialize; CI's `parallel-determinism` job forces
+/// `PARALLEL_THREADS=4` on a multicore runner so the same tests run with
+/// genuinely concurrent workers (and a reproducible thread count).
+fn forced_threads(fallback: usize) -> usize {
+    std::env::var("PARALLEL_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(fallback)
+        .max(1)
 }
 
 /// Engine property-test workload: floods the minimum id for `depth` rounds.
@@ -208,10 +225,112 @@ proptest! {
         let par = congest_mds::fractional::kw05::run_on(
             &graph,
             k,
-            &ParallelExecutor::new(threads),
+            &ParallelExecutor::new(forced_threads(threads)),
             &ExecutorConfig::default(),
         )
         .unwrap();
         prop_assert_eq!(seq.report, par.report);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The measured distributed MWU solver is bit-identical to its central
+    // oracle and to itself across executors (R1 made measured).
+    #[test]
+    fn distributed_mwu_equals_central_oracle(
+        graph in graph_strategy(),
+        threads in 2usize..6,
+    ) {
+        let config = lp::DistributedLpConfig::default();
+        let oracle = lp::central_mwu_reference(&graph, &config);
+        let seq = lp::distributed_solve_fractional_mds(&graph, &config).unwrap();
+        prop_assert_eq!(seq.assignment.values(), oracle.values());
+        prop_assert!(seq.assignment.is_feasible_dominating_set(&graph));
+        let par = lp::distributed_solve_on(
+            &graph,
+            &config,
+            &ParallelExecutor::new(forced_threads(threads)),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(seq.report, par.report);
+    }
+
+    // The scheduled conditional-expectation program is bit-identical to the
+    // central derandomizer processing the same groups (R3 made measured).
+    #[test]
+    fn scheduled_derandomization_equals_central_oracle(
+        graph in graph_strategy(),
+        threads in 2usize..6,
+    ) {
+        let x = lp::degree_heuristic(&graph);
+        let problem = OneShotRounding::on_graph(&graph, &x).into_problem();
+        let order = vec![problem.participating_values()];
+        let schedule = DerandSchedule::sequential_groups(&order, &problem);
+        let central = derandomize(
+            &problem,
+            &DerandomizeConfig {
+                estimator: EstimatorKind::default(),
+                groups: Some(schedule.as_groups()),
+            },
+        );
+        let distributed = distributed_derandomize_on(
+            &graph,
+            &problem,
+            &schedule,
+            EstimatorKind::default(),
+            &ParallelExecutor::new(forced_threads(threads)),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(distributed.output.values(), central.output.values());
+        if schedule.is_empty() {
+            // No coin flips: a single round evaluates the constraints.
+            prop_assert_eq!(distributed.report.rounds, 1);
+        } else {
+            prop_assert_eq!(
+                distributed.report.rounds,
+                congest_mds::congest::ledger::formulas::derandomization_schedule_rounds(
+                    schedule.len() as u64
+                )
+            );
+        }
+    }
+}
+
+proptest! {
+    // The end-to-end pipeline runs several engine executions per case; keep
+    // the case count lower than the cheap structural properties above.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The headline acceptance property: the composed pipeline — distributed
+    // MWU plus scheduled derandomization on the engine — produces exactly
+    // the dominating set of the central oracle, on both derandomization
+    // routes and both executors.
+    #[test]
+    fn composed_pipeline_equals_central_oracle_on_both_routes_and_executors(
+        n in 2usize..36,
+        p_num in 2u32..30,
+        seed in 0u64..500,
+        threads in 2usize..6,
+    ) {
+        let graph = generators::gnp(n, p_num as f64 / 100.0, seed);
+        for route in [DerandRoute::NetworkDecomposition { k: 2 }, DerandRoute::Coloring] {
+            let config = MdsConfig { route, ..MdsConfig::default() };
+            let oracle = pipeline::central_oracle(&graph, &config);
+            let sync = pipeline::run(&graph, &config);
+            let par = pipeline::run_on(
+                &graph,
+                &config,
+                &ParallelExecutor::new(forced_threads(threads)),
+            );
+            prop_assert_eq!(&sync.dominating_set, &oracle.dominating_set);
+            prop_assert_eq!(&sync.assignment, &oracle.assignment);
+            prop_assert_eq!(&par.dominating_set, &oracle.dominating_set);
+            prop_assert_eq!(&par.ledger, &sync.ledger);
+            prop_assert!(verify::is_dominating_set(&graph, &sync.dominating_set));
+        }
     }
 }

@@ -1,8 +1,8 @@
 //! Minimal, dependency-free stand-in for the `proptest` crate.
 //!
 //! The workspace must build offline, so this crate vendors the slice of the
-//! proptest 1.x API used by `tests/properties.rs`: the [`Strategy`] trait
-//! with [`Strategy::prop_map`], range and tuple strategies,
+//! proptest 1.x API used by `tests/properties.rs`: the [`strategy::Strategy`] trait
+//! with [`strategy::Strategy::prop_map`], range and tuple strategies,
 //! [`collection::vec`], [`test_runner::ProptestConfig`], and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
