@@ -539,11 +539,13 @@ pub fn pipeline_benchmark_json(sizes: &[usize]) -> String {
             let wall = start.elapsed();
             assert!(verify::is_dominating_set(&g, &r.dominating_set));
             let measured_engine_rounds = r.measured_engine_rounds();
+            let measured_coloring_rounds = r.measured_coloring_rounds();
             entries.push(format!(
                 concat!(
                     "    {{\"n\": {}, \"m\": {}, \"max_degree\": {}, \"route\": \"{}\", ",
                     "\"size\": {}, \"lp_lower_bound\": {:.3}, ",
-                    "\"measured_engine_rounds\": {}, \"simulated_rounds\": {}, ",
+                    "\"measured_engine_rounds\": {}, \"measured_coloring_rounds\": {}, ",
+                    "\"simulated_rounds\": {}, ",
                     "\"formula_rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}}}"
                 ),
                 g.n(),
@@ -553,6 +555,7 @@ pub fn pipeline_benchmark_json(sizes: &[usize]) -> String {
                 r.size(),
                 r.lp_lower_bound,
                 measured_engine_rounds,
+                measured_coloring_rounds,
                 r.ledger.total_simulated_rounds(),
                 r.ledger.total_formula_rounds(),
                 r.ledger.total_messages(),
@@ -621,6 +624,7 @@ mod tests {
             "\"route\": \"theorem_1_1\"",
             "\"route\": \"theorem_1_2\"",
             "\"measured_engine_rounds\"",
+            "\"measured_coloring_rounds\"",
             "\"simulated_rounds\"",
             "\"formula_rounds\"",
             "\"wall_ms\"",
@@ -629,5 +633,18 @@ mod tests {
         }
         // Two routes over one size.
         assert_eq!(json.matches("\"route\"").count(), 2);
+        // The decomposition route never colors; the coloring route measures
+        // its Lemma 3.12 phases on the engine.
+        assert!(json.contains("\"route\": \"theorem_1_1\", \"size\""));
+        let coloring_route = json
+            .lines()
+            .find(|l| l.contains("theorem_1_2"))
+            .expect("theorem_1_2 entry present");
+        assert!(!coloring_route.contains("\"measured_coloring_rounds\": 0"));
+        let nd_route = json
+            .lines()
+            .find(|l| l.contains("theorem_1_1"))
+            .expect("theorem_1_1 entry present");
+        assert!(nd_route.contains("\"measured_coloring_rounds\": 0"));
     }
 }

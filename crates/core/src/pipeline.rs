@@ -24,10 +24,13 @@
 //! [`run`] / [`run_on`] assemble the pipeline as a
 //! [`congest_sim::ComposedProgram`] and execute its hot path on the engine:
 //! the Part I fractional solver (when [`FractionalMethod::DistributedMwu`] is
-//! selected, the default) and every conditional-expectation schedule of Parts
-//! II/III run as real node programs with *measured* round counts, while the
-//! combinatorial constructions (decomposition, coloring) stay centrally
-//! simulated and charged in closed form — one interleaved accounting stream.
+//! selected, the default), every Lemma 3.12 distance-two coloring of the
+//! coloring routes, and every conditional-expectation schedule of Parts
+//! II/III run as real node programs with *measured* round counts — on the
+//! Theorem 1.2 route all three phase kinds are measured, so the route is
+//! engine-measured end to end. Only the network decomposition of the
+//! Theorem 1.1 route stays centrally simulated and charged in closed form —
+//! one interleaved accounting stream either way.
 //! [`central_oracle`] retains the pure in-memory implementation; the engine
 //! execution is property-tested bit-identical to it on both executors
 //! (`tests/properties.rs`).
@@ -39,10 +42,13 @@
 
 use congest_sim::ledger::formulas;
 use congest_sim::{
-    ComposedProgram, Executor, ExecutorConfig, Graph, NodeId, PhaseOutcome, PhaseSpec, RoundLedger,
-    SyncExecutor,
+    ComposedProgram, Executor, ExecutorConfig, Graph, NodeId, PhaseMode, PhaseOutcome, PhaseSpec,
+    RoundLedger, SyncExecutor,
 };
-use mds_decomposition::coloring::{bipartite_distance_two_coloring, BipartiteColoring};
+use mds_decomposition::coloring::{
+    assemble_coloring, bipartite_distance_two_coloring, distance_two_coloring_programs,
+    BipartiteColoring,
+};
 use mds_decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
 use mds_decomposition::NetworkDecomposition;
 use mds_fractional::lemma21::{
@@ -154,6 +160,18 @@ impl MdsResult {
         congest_sim::compose::measured_rounds(&self.phases)
     }
 
+    /// Rounds the measured Lemma 3.12 distance-two coloring phases spent on
+    /// the engine, summed over all rounding steps (`0` on the
+    /// network-decomposition route and for [`central_oracle`] runs, which
+    /// color centrally).
+    pub fn measured_coloring_rounds(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.mode == PhaseMode::Measured && p.name.contains("Lemma 3.12"))
+            .map(|p| p.rounds)
+            .sum()
+    }
+
     /// The approximation guarantee `(1+ε)(1+ln(Δ+1))` for this run.
     pub fn guarantee(&self, graph: &Graph) -> f64 {
         (1.0 + self.epsilon) * (1.0 + (graph.delta_tilde().max(2) as f64).ln())
@@ -215,26 +233,44 @@ fn derandomization_plan(
         }
         DerandRoute::Coloring | DerandRoute::ColoringLocal => {
             let (coloring, bipartite) = color_problem(problem);
-            let local = matches!(config.route, DerandRoute::ColoringLocal);
-            let formula = if local {
-                // Corollary 1.3: the coloring can be computed in
-                // O(F·Δ + log* n) rounds in the LOCAL model.
-                (bipartite.max_left_degree() * graph.max_degree().max(1)) as u64
-                    + formulas::log_star(n) as u64
-                    + formulas::coloring_derandomization_rounds(coloring.num_colors)
-            } else {
-                formulas::coloring_derandomization_rounds(coloring.num_colors)
-            };
-            DerandPlan {
-                central_simulated: coloring.num_colors as u64 * 2,
-                formula,
-                name: "derandomization via distance-two coloring (Lemma 3.10)".to_owned(),
-                messages: problem.values.len() as u64 * 2,
-                parallel: true,
-                setup: coloring.ledger.clone(),
-                groups: coloring.classes(),
-            }
+            let setup = coloring.ledger.clone();
+            coloring_route_plan(graph, problem, config, &coloring, &bipartite, setup)
         }
+    }
+}
+
+/// The Lemma 3.10 derandomization plan of the coloring route for an
+/// already-computed Lemma 3.12 coloring — shared by the central oracle
+/// (which colors centrally and passes the charged coloring ledger as
+/// `setup`) and the composed engine execution (which ran the coloring as a
+/// measured phase and passes an empty `setup`).
+fn coloring_route_plan(
+    graph: &Graph,
+    problem: &RoundingProblem,
+    config: &MdsConfig,
+    coloring: &BipartiteColoring,
+    bipartite: &BipartiteGraph,
+    setup: RoundLedger,
+) -> DerandPlan {
+    let n = graph.n().max(2);
+    let local = matches!(config.route, DerandRoute::ColoringLocal);
+    let formula = if local {
+        // Corollary 1.3: the coloring can be computed in
+        // O(F·Δ + log* n) rounds in the LOCAL model.
+        (bipartite.max_left_degree() * graph.max_degree().max(1)) as u64
+            + formulas::log_star(n) as u64
+            + formulas::coloring_derandomization_rounds(coloring.num_colors)
+    } else {
+        formulas::coloring_derandomization_rounds(coloring.num_colors)
+    };
+    DerandPlan {
+        central_simulated: coloring.num_colors as u64 * 2,
+        formula,
+        name: "derandomization via distance-two coloring (Lemma 3.10)".to_owned(),
+        messages: problem.values.len() as u64 * 2,
+        parallel: true,
+        setup,
+        groups: coloring.classes(),
     }
 }
 
@@ -259,25 +295,44 @@ fn derandomization_groups(
     (plan.groups, ledger)
 }
 
+/// Builds the constraint/value bipartite graph of a rounding problem together
+/// with the owner (original node) of every constraint node and the
+/// participating value nodes — the raw inputs of the Lemma 3.12 coloring,
+/// central or measured. Public so examples and tests can build the instance
+/// exactly as the pipeline does.
+pub fn problem_bipartite(problem: &RoundingProblem) -> (BipartiteGraph, Vec<usize>, Vec<usize>) {
+    let mut b = BipartiteGraph::new(problem.constraints.len(), problem.values.len());
+    let mut left_owner = Vec::with_capacity(problem.constraints.len());
+    for (ci, c) in problem.constraints.iter().enumerate() {
+        left_owner.push(c.original);
+        for &m in &c.members {
+            b.add_edge(ci, m);
+        }
+    }
+    (b, left_owner, problem.participating_values())
+}
+
 /// Builds the constraint/value bipartite graph of a rounding problem and
 /// colors its participating value nodes (Lemma 3.12 applied to the problem) —
 /// the grouping the Theorem 1.2 route schedules its coin fixing by. Public so
 /// examples and tests color problems exactly as the pipeline does.
 pub fn color_problem(problem: &RoundingProblem) -> (BipartiteColoring, BipartiteGraph) {
-    let mut b = BipartiteGraph::new(problem.constraints.len(), problem.values.len());
-    for (ci, c) in problem.constraints.iter().enumerate() {
-        for &m in &c.members {
-            b.add_edge(ci, m);
-        }
-    }
-    let targets = problem.participating_values();
+    let (b, _owners, targets) = problem_bipartite(problem);
     let coloring = bipartite_distance_two_coloring(&b, &targets, problem.n_original.max(2));
     (coloring, b)
 }
 
-/// Executes one derandomization step on the engine through the composer: the
-/// plan's groups become a [`DerandSchedule`] (parallel color classes, or
-/// cluster members serialized in color order) and the scheduled
+/// Executes one derandomization step on the engine through the composer.
+///
+/// On the coloring routes the Lemma 3.12 distance-two coloring itself runs
+/// first, as a measured engine phase (substitution R4 made measured): the
+/// [`DistanceTwoColoringProgram`](mds_decomposition::coloring::DistanceTwoColoringProgram)
+/// executes the iterative color reduction in exactly
+/// [`formulas::measured_coloring_rounds`] rounds, at most the Lemma 3.12
+/// charge, and its assembled output — bit-identical to the central
+/// [`bipartite_distance_two_coloring`] oracle — provides the color classes.
+/// Then the plan's groups become a [`DerandSchedule`] (parallel color
+/// classes, or cluster members serialized in color order) and the scheduled
 /// conditional-expectation program runs as a measured phase. Steps without
 /// any coin to fix fall back to the (free) central evaluation.
 fn composed_derandomization<E: Executor>(
@@ -288,7 +343,45 @@ fn composed_derandomization<E: Executor>(
     nd_groups: Option<&[Vec<usize>]>,
     decomposition: Option<&NetworkDecomposition>,
 ) -> FractionalAssignment {
-    let plan = derandomization_plan(graph, problem, config, nd_groups, decomposition);
+    let plan = match &config.route {
+        DerandRoute::Coloring | DerandRoute::ColoringLocal if graph.n() > 0 => {
+            let (bipartite, left_owner, targets) = problem_bipartite(problem);
+            let (programs, schedule) =
+                distance_two_coloring_programs(graph, &bipartite, &left_owner, &targets)
+                    .expect("pipeline rounding problems are graph-aligned");
+            let formula = formulas::bipartite_coloring_rounds(
+                bipartite.max_left_degree(),
+                bipartite.max_right_degree(),
+                graph.n().max(2),
+            );
+            let report = composer
+                .measured(
+                    PhaseSpec::named("distance-two coloring (Lemma 3.12, measured)")
+                        .with_formula(formula),
+                    programs,
+                )
+                .expect("distance-two coloring program is well-formed");
+            debug_assert_eq!(
+                report.rounds,
+                formulas::measured_coloring_rounds(schedule.num_steps as u64)
+            );
+            debug_assert!(
+                report.rounds <= formula,
+                "measured coloring rounds {} exceed the Lemma 3.12 charge {formula}",
+                report.rounds
+            );
+            let coloring = assemble_coloring(&report.outputs);
+            coloring_route_plan(
+                graph,
+                problem,
+                config,
+                &coloring,
+                &bipartite,
+                RoundLedger::new(),
+            )
+        }
+        _ => derandomization_plan(graph, problem, config, nd_groups, decomposition),
+    };
     composer.absorb(plan.setup);
     let schedule = if plan.parallel {
         DerandSchedule::parallel_groups(&plan.groups, problem)
@@ -452,11 +545,12 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
 
 /// Assembles the pipeline as a [`ComposedProgram`] and executes it end to end
 /// on `executor`: measured node programs for the fractional solver (when
-/// [`FractionalMethod::DistributedMwu`] is selected) and for every
-/// conditional-expectation schedule, charged phases for the centrally
-/// simulated constructions. The result is bit-identical to
-/// [`central_oracle`] (property-tested), only the ledger differs — it now
-/// carries *measured* round counts for the hot path.
+/// [`FractionalMethod::DistributedMwu`] is selected), for every Lemma 3.12
+/// distance-two coloring of the coloring routes, and for every
+/// conditional-expectation schedule; charged phases for the centrally
+/// simulated constructions (the Theorem 1.1 network decomposition). The
+/// result is bit-identical to [`central_oracle`] (property-tested), only the
+/// ledger differs — it now carries *measured* round counts for the hot path.
 pub fn run_on<E: Executor>(graph: &Graph, config: &MdsConfig, executor: &E) -> MdsResult {
     let mut composer = ComposedProgram::new(graph, executor, ExecutorConfig::default());
     let mut stages = Vec::new();
@@ -756,6 +850,46 @@ mod tests {
             // with the exact constant.
             assert_eq!(phase.formula_rounds, Some(phase.simulated_rounds));
         }
+    }
+
+    #[test]
+    fn coloring_phases_are_measured_and_below_the_lemma_charge() {
+        let g = generators::gnp(50, 0.1, 4);
+        let config = MdsConfig {
+            route: DerandRoute::Coloring,
+            ..quick_config()
+        };
+        let result = run(&g, &config);
+        let coloring_phases: Vec<_> = result
+            .ledger
+            .phases()
+            .iter()
+            .filter(|p| p.name == "distance-two coloring (Lemma 3.12, measured)")
+            .collect();
+        assert!(
+            !coloring_phases.is_empty(),
+            "no measured coloring phase on the Theorem 1.2 route"
+        );
+        for phase in &coloring_phases {
+            // Two rounds per reduction step (one observing round when there
+            // is nothing to color), never above the Lemma 3.12 charge.
+            assert!(phase.simulated_rounds >= 1);
+            assert!(
+                phase.simulated_rounds <= phase.formula_rounds.unwrap(),
+                "measured {} > Lemma 3.12 charge {:?}",
+                phase.simulated_rounds,
+                phase.formula_rounds
+            );
+        }
+        let total: u64 = coloring_phases.iter().map(|p| p.simulated_rounds).sum();
+        assert_eq!(result.measured_coloring_rounds(), total);
+        assert!(result.measured_coloring_rounds() > 0);
+        // The oracle colors centrally, the decomposition route never colors.
+        assert_eq!(central_oracle(&g, &config).measured_coloring_rounds(), 0);
+        assert_eq!(
+            theorem_1_1(&g, &quick_config()).measured_coloring_rounds(),
+            0
+        );
     }
 
     #[test]

@@ -6,12 +6,46 @@
 //! constraint/value graph). Lemma 3.12 colors the right-hand side of a
 //! bipartite graph with at most `Δ_L·Δ_R` colors in
 //! `O(Δ_L·Δ_R + Δ_L·log* n)` CONGEST rounds via \[BEK15\]; as documented in
-//! `DESIGN.md` (substitution R4) we obtain the same number of colors with a
-//! deterministic identifier-ordered greedy on the conflict graph and charge
-//! the paper's round formula to the ledger.
+//! `DESIGN.md` (substitution R4) we obtain the same number of colors with an
+//! *ID-based initial coloring followed by iterative color reduction* on the
+//! conflict graph, and the reduction runs as a **measured** engine program.
+//!
+//! Two executions of the same reduction rule are provided:
+//!
+//! * [`bipartite_distance_two_coloring`] — the **central oracle**: computes
+//!   the [`ColoringSchedule`] (residue batches of the trivial ID coloring
+//!   and reduction steps, both functions of the IDs and the topology only)
+//!   and fixes the final colors step by step in one loop; the Lemma 3.12
+//!   formula is charged to its ledger.
+//! * [`DistanceTwoColoringProgram`] / [`distributed_bipartite_coloring_on`] —
+//!   the **measured** CONGEST execution on the original network: every
+//!   reduction step spends exactly two engine rounds. In the odd round the
+//!   step's nodes fix the smallest color not yet taken in their conflict
+//!   neighborhood and broadcast it; in the even round the constraint owners
+//!   (the left nodes, each hosted by the original node owning the
+//!   constraint) relay the newly fixed colors to the still-undecided right
+//!   nodes at distance two. Both executions evaluate the same smallest-free
+//!   rule over the same processing order, so the engine output is
+//!   bit-identical to the central oracle (proptest-enforced in
+//!   `tests/coloring_conformance.rs`).
+//!
+//! **Why the engine output equals the central greedy.** The schedule orders
+//! the targets by `(batch, id)` — batches are the identifier residues modulo
+//! `D + 1` for conflict degree `D` — and assigns each target the step
+//! `1 + max(step of conflicting targets with smaller order)`. Two conflicting
+//! targets therefore never share a step, and when a target decides, exactly
+//! its smaller-order conflict partners have already fixed (and relayed) their
+//! colors — the same forbidden set the sequential greedy sees when it
+//! processes the targets in `(batch, id)` order. The final colors are *not*
+//! derivable from the schedule: they genuinely depend on the relayed
+//! messages (the schedule only says when a node decides, never what it
+//! decides).
 
 use congest_sim::ledger::formulas;
-use congest_sim::{Graph, RoundLedger};
+use congest_sim::{
+    ExecutionError, Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeId,
+    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor,
+};
 use mds_graphs::BipartiteGraph;
 
 /// A coloring of the right-hand side of a bipartite graph such that two right
@@ -23,7 +57,9 @@ pub struct BipartiteColoring {
     pub colors: Vec<usize>,
     /// Number of colors used.
     pub num_colors: usize,
-    /// Round accounting (the Lemma 3.12 formula).
+    /// Round accounting (the Lemma 3.12 formula for the central oracle;
+    /// empty for colorings assembled from engine outputs, whose cost is
+    /// accounted by the run that produced them).
     pub ledger: RoundLedger,
 }
 
@@ -40,41 +76,172 @@ impl BipartiteColoring {
     }
 }
 
+/// Marks `c` in a growable color set.
+fn mark(set: &mut Vec<bool>, c: usize) {
+    if c >= set.len() {
+        set.resize(c + 1, false);
+    }
+    set[c] = true;
+}
+
+/// The smallest color not present in the set.
+fn mex(set: &[bool]) -> usize {
+    set.iter().position(|&taken| !taken).unwrap_or(set.len())
+}
+
+/// The static processing plan of the iterative color reduction: who belongs
+/// to which residue batch of the ID coloring and who fixes its final color
+/// at which step. Both are functions of the identifiers and the topology
+/// only, so the central oracle and the distributed program derive the
+/// identical plan — while the *colors* exist nowhere in the plan; they
+/// emerge from the reduction itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColoringSchedule {
+    /// Residue batch of each right node: its identifier modulo
+    /// [`ColoringSchedule::num_batches`] (`usize::MAX` for non-targets).
+    /// The ID-based initial coloring is the trivial identifier coloring;
+    /// the reduction visits it batched by residue so the step count tracks
+    /// the conflict degree instead of `n`.
+    pub batch: Vec<usize>,
+    /// Number of residue batches (`D + 1` for conflict degree `D`; two
+    /// conflicting targets share a batch only when their identifiers differ
+    /// by a multiple of it, so batches are conflict-sparse).
+    pub num_batches: usize,
+    /// Reduction step at which each right node fixes its final color
+    /// (`usize::MAX` for non-targets). Conflicting targets never share a
+    /// step; residual same-batch conflicts are serialized by identifier.
+    pub step: Vec<usize>,
+    /// Number of reduction steps (each costs two engine rounds).
+    pub num_steps: usize,
+    /// The targets in `(batch, id)` order — the order the central greedy
+    /// fixes final colors in.
+    pub order: Vec<usize>,
+}
+
+/// Calls `visit` for every conflict partner of target `r` (targets sharing a
+/// left neighbor with `r`), possibly several times per partner — the same
+/// neighbors-of-neighbors scan for every use, so no quadratic adjacency is
+/// ever materialized.
+fn for_each_conflict(
+    b: &BipartiteGraph,
+    is_target: &[bool],
+    r: usize,
+    mut visit: impl FnMut(usize),
+) {
+    for &l in b.neighbors_of_right(r) {
+        for &r2 in b.neighbors_of_left(l) {
+            if r2 != r && is_target[r2] {
+                visit(r2);
+            }
+        }
+    }
+}
+
+/// Computes the [`ColoringSchedule`] together with the target indicator it
+/// was derived from (so the oracle does not have to rebuild it).
+fn schedule_and_targets(b: &BipartiteGraph, targets: &[usize]) -> (ColoringSchedule, Vec<bool>) {
+    let rc = b.right_count();
+    let mut is_target = vec![false; rc];
+    for &t in targets {
+        is_target[t] = true;
+    }
+    let mut sorted: Vec<usize> = targets.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    // Phase A — the ID-based initial coloring is the trivial identifier
+    // coloring (proper by construction). Batch its classes by identifier
+    // residue modulo D + 1, D the maximum conflict degree: conflicting
+    // targets land in one batch only when their identifiers differ by a
+    // multiple of D + 1, so batches are nearly independent and the
+    // reduction depth tracks D instead of n.
+    let mut seen = vec![false; rc];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut d_max = 0usize;
+    for &r in &sorted {
+        let mut degree = 0usize;
+        for_each_conflict(b, &is_target, r, |r2| {
+            if !seen[r2] {
+                seen[r2] = true;
+                touched.push(r2);
+                degree += 1;
+            }
+        });
+        d_max = d_max.max(degree);
+        for &t in &touched {
+            seen[t] = false;
+        }
+        touched.clear();
+    }
+    let num_batches = if sorted.is_empty() { 0 } else { d_max + 1 };
+    let mut batch = vec![usize::MAX; rc];
+    for &r in &sorted {
+        batch[r] = r % num_batches.max(1);
+    }
+
+    // Phase B schedule — reduction steps: targets in (batch, id) order;
+    // each target decides one step after the last of its smaller-order
+    // conflict partners, so conflicting targets are never scheduled
+    // together and every decision sees exactly its processed partners.
+    let mut order = sorted;
+    order.sort_unstable_by_key(|&r| (batch[r], r));
+    let mut step = vec![usize::MAX; rc];
+    let mut num_steps = 0usize;
+    for &r in &order {
+        let mut lvl = 0usize;
+        for_each_conflict(b, &is_target, r, |r2| {
+            if step[r2] != usize::MAX {
+                lvl = lvl.max(step[r2] + 1);
+            }
+        });
+        step[r] = lvl;
+        num_steps = num_steps.max(lvl + 1);
+    }
+
+    (
+        ColoringSchedule {
+            batch,
+            num_batches,
+            step,
+            num_steps,
+            order,
+        },
+        is_target,
+    )
+}
+
+/// Computes the static reduction schedule for coloring `targets` on the
+/// bipartite graph `b` — the plan shared by the central oracle and the
+/// measured program.
+pub fn coloring_schedule(b: &BipartiteGraph, targets: &[usize]) -> ColoringSchedule {
+    schedule_and_targets(b, targets).0
+}
+
 /// Colors the right nodes listed in `targets` of the bipartite graph `b` so
 /// that no two targets sharing a left neighbor get the same color
 /// (Lemma 3.12). `n` is the size of the underlying network, used only for the
 /// round formula.
+///
+/// This is the central oracle of the measured [`DistanceTwoColoringProgram`]:
+/// it fixes the final colors in the schedule's `(initial class, id)` order
+/// with the smallest-free rule, which is exactly what the engine execution
+/// computes step by step.
 pub fn bipartite_distance_two_coloring(
     b: &BipartiteGraph,
     targets: &[usize],
     n: usize,
 ) -> BipartiteColoring {
+    let (schedule, is_target) = schedule_and_targets(b, targets);
     let mut colors = vec![usize::MAX; b.right_count()];
-    let mut is_target = vec![false; b.right_count()];
-    for &t in targets {
-        is_target[t] = true;
-    }
     let mut num_colors = 0usize;
-    let mut forbidden: Vec<usize> = Vec::new();
-    for &r in targets {
-        forbidden.clear();
-        for &l in b.neighbors_of_right(r) {
-            for &r2 in b.neighbors_of_left(l) {
-                if r2 != r && colors[r2] != usize::MAX {
-                    forbidden.push(colors[r2]);
-                }
+    for &r in &schedule.order {
+        let mut forb: Vec<bool> = Vec::new();
+        for_each_conflict(b, &is_target, r, |r2| {
+            if colors[r2] != usize::MAX {
+                mark(&mut forb, colors[r2]);
             }
-        }
-        forbidden.sort_unstable();
-        forbidden.dedup();
-        let mut color = 0usize;
-        for &f in &forbidden {
-            if f == color {
-                color += 1;
-            } else if f > color {
-                break;
-            }
-        }
+        });
+        let color = mex(&forb);
         colors[r] = color;
         num_colors = num_colors.max(color + 1);
     }
@@ -127,6 +294,373 @@ pub fn verify_bipartite_coloring(
     Ok(())
 }
 
+/// Messages of the measured distance-two coloring.
+///
+/// A `Forbid` relay carries the colors a constraint owner saw fixed in the
+/// previous step, as full 64-bit values, charged honestly — like the
+/// estimator replies of the derandomization schedule this can exceed the
+/// simulator's default bandwidth budget on small networks; the run report
+/// records those as bandwidth violations rather than hiding them behind an
+/// undersized charge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringMessage {
+    /// Decider → neighbors: the node fixed its final color.
+    Announce {
+        /// The fixed color.
+        color: usize,
+    },
+    /// Constraint owner → still-undecided member: colors newly fixed by the
+    /// other members of a shared constraint (the distance-two relay).
+    Forbid {
+        /// Newly forbidden colors, sorted and deduplicated.
+        colors: Vec<usize>,
+    },
+}
+
+impl MessageSize for ColoringMessage {
+    fn size_bits(&self) -> usize {
+        match self {
+            ColoringMessage::Announce { .. } => 1 + 64,
+            ColoringMessage::Forbid { colors } => 1 + 64 * colors.len(),
+        }
+    }
+}
+
+/// A member of an owned constraint, as tracked by the owner for the relay.
+#[derive(Debug, Clone)]
+struct ConflictMember {
+    /// The member's node id (equal to its right/value index).
+    id: usize,
+    /// Whether the member is one of the coloring targets.
+    is_target: bool,
+    /// The member's fixed color, once announced.
+    color: Option<usize>,
+    /// Whether the color was fixed since the owner last relayed.
+    fresh: bool,
+}
+
+/// One constraint (left node) owned by the executing node.
+#[derive(Debug, Clone)]
+struct OwnedConflict {
+    members: Vec<ConflictMember>,
+}
+
+/// Per-node state machine of the measured distance-two coloring
+/// (substitution R4 made measured).
+///
+/// Rounds alternate between *decide* rounds (odd engine rounds: the nodes of
+/// the current reduction step fix the smallest color absent from their
+/// accumulated forbidden set — relayed colors plus the fixed colors of
+/// members of their own constraints — and broadcast it) and *relay* rounds
+/// (even engine rounds: constraint owners absorb the announcements and
+/// forward the newly fixed colors to the still-undecided targets of their
+/// constraints). After `2·steps` rounds every target holds its final color
+/// and all nodes halt. Build instances with
+/// [`distance_two_coloring_programs`].
+#[derive(Debug, Clone)]
+pub struct DistanceTwoColoringProgram {
+    num_steps: usize,
+    my_step: Option<usize>,
+    my_color: Option<usize>,
+    /// Forbidden colors accumulated from owner relays.
+    forbidden: Vec<bool>,
+    /// Constraints owned by this node (its left copies).
+    owned: Vec<OwnedConflict>,
+}
+
+impl DistanceTwoColoringProgram {
+    /// Records a fixed color in the owner-side member states.
+    fn record_color(&mut self, id: usize, color: usize) {
+        for oc in &mut self.owned {
+            for m in &mut oc.members {
+                if m.id == id {
+                    m.color = Some(color);
+                    m.fresh = true;
+                }
+            }
+        }
+    }
+}
+
+impl NodeProgram for DistanceTwoColoringProgram {
+    type Message = ColoringMessage;
+    type Output = Option<usize>;
+
+    fn init(&mut self, _: &NodeContext<'_>, _: &mut Outbox<'_, ColoringMessage>) {
+        // The first step's nodes have empty conflict pasts; nothing to seed.
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<'_, ColoringMessage>,
+        outbox: &mut Outbox<'_, ColoringMessage>,
+    ) -> RoundAction<Option<usize>> {
+        let my_id = ctx.id.0;
+        // Absorb: announcements update the owner-side member states, relayed
+        // colors accumulate in the value-side forbidden set.
+        for (sender, msg) in inbox.iter() {
+            match msg {
+                ColoringMessage::Announce { color } => self.record_color(sender.0, *color),
+                ColoringMessage::Forbid { colors } => {
+                    for &c in colors {
+                        mark(&mut self.forbidden, c);
+                    }
+                }
+            }
+        }
+        if self.num_steps == 0 {
+            return RoundAction::Halt(self.my_color);
+        }
+        if ctx.round % 2 == 1 {
+            // Decide round for step (round - 1) / 2.
+            let step = ((ctx.round - 1) / 2) as usize;
+            if self.my_step == Some(step) {
+                // The forbidden set: relayed colors plus the fixed colors of
+                // the co-members of owned constraints this node itself
+                // belongs to — together exactly the final colors of the
+                // conflict partners with smaller schedule order. Owned
+                // constraints *not* containing this node contribute nothing:
+                // their members are not conflict partners.
+                let mut forb = self.forbidden.clone();
+                for oc in &self.owned {
+                    if !oc.members.iter().any(|m| m.id == my_id) {
+                        continue;
+                    }
+                    for m in &oc.members {
+                        if m.id != my_id {
+                            if let Some(c) = m.color {
+                                mark(&mut forb, c);
+                            }
+                        }
+                    }
+                }
+                let color = mex(&forb);
+                self.my_color = Some(color);
+                self.record_color(my_id, color);
+                outbox.broadcast(ColoringMessage::Announce { color });
+            }
+            RoundAction::Continue
+        } else {
+            // Relay round after step round / 2 - 1.
+            let step = (ctx.round / 2) as usize - 1;
+            if step + 1 >= self.num_steps {
+                return RoundAction::Halt(self.my_color);
+            }
+            // Forward the freshly fixed colors of every owned constraint to
+            // its still-undecided targets (the distance-two relay).
+            let mut deltas: Vec<(usize, Vec<usize>)> = Vec::new();
+            for oc in &self.owned {
+                let fresh: Vec<usize> = oc
+                    .members
+                    .iter()
+                    .filter(|m| m.fresh)
+                    .filter_map(|m| m.color)
+                    .collect();
+                if fresh.is_empty() {
+                    continue;
+                }
+                for m in &oc.members {
+                    if m.is_target && m.color.is_none() && m.id != my_id {
+                        match deltas.iter_mut().find(|(id, _)| *id == m.id) {
+                            Some((_, colors)) => colors.extend_from_slice(&fresh),
+                            None => deltas.push((m.id, fresh.clone())),
+                        }
+                    }
+                }
+            }
+            for (id, mut colors) in deltas {
+                colors.sort_unstable();
+                colors.dedup();
+                outbox.send(NodeId(id), ColoringMessage::Forbid { colors });
+            }
+            for oc in &mut self.owned {
+                for m in &mut oc.members {
+                    m.fresh = false;
+                }
+            }
+            RoundAction::Continue
+        }
+    }
+}
+
+/// Validates the instance against the locality assumptions of the measured
+/// coloring and builds one [`DistanceTwoColoringProgram`] per node, together
+/// with the schedule the programs follow.
+///
+/// The instance must be *graph-aligned*: one right (value) node per original
+/// node (in node order), and every left (constraint) node hosted by the
+/// original node `left_owner[l]` with all its right neighbors inside the
+/// owner's inclusive neighborhood — which holds for the bipartite
+/// representation `B_G` and for every rounding problem of the pipeline.
+/// `targets` must list distinct right nodes. A degenerate instance without
+/// left nodes (`Δ_L = 0`) is valid: nothing conflicts, so all targets take
+/// color 0 in one step.
+///
+/// # Errors
+///
+/// Returns a description of the violated assumption.
+pub fn distance_two_coloring_programs(
+    graph: &Graph,
+    b: &BipartiteGraph,
+    left_owner: &[usize],
+    targets: &[usize],
+) -> Result<(Vec<DistanceTwoColoringProgram>, ColoringSchedule), String> {
+    let n = graph.n();
+    if b.right_count() != n {
+        return Err(format!(
+            "bipartite graph is not graph-aligned: {} right (value) nodes for an {n}-node network",
+            b.right_count()
+        ));
+    }
+    if left_owner.len() != b.left_count() {
+        return Err(format!(
+            "{} left owners supplied for {} left (constraint) nodes",
+            left_owner.len(),
+            b.left_count()
+        ));
+    }
+    for (l, &owner) in left_owner.iter().enumerate() {
+        if owner >= n {
+            return Err(format!("left node {l}: owner {owner} out of range"));
+        }
+        for &r in b.neighbors_of_left(l) {
+            if r != owner && !graph.has_edge(NodeId(owner), NodeId(r)) {
+                return Err(format!(
+                    "left node {l}: right node {r} is not in the inclusive neighborhood of owner {owner}"
+                ));
+            }
+        }
+    }
+    let mut seen = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(format!("target right node {t} out of range"));
+        }
+        if seen[t] {
+            return Err(format!("target right node {t} listed twice"));
+        }
+        seen[t] = true;
+    }
+
+    let schedule = coloring_schedule(b, targets);
+    let mut owned: Vec<Vec<OwnedConflict>> = vec![Vec::new(); n];
+    for (l, &owner) in left_owner.iter().enumerate() {
+        let members = b
+            .neighbors_of_left(l)
+            .iter()
+            .map(|&r| ConflictMember {
+                id: r,
+                is_target: schedule.step[r] != usize::MAX,
+                color: None,
+                fresh: false,
+            })
+            .collect();
+        owned[owner].push(OwnedConflict { members });
+    }
+    let programs = owned
+        .into_iter()
+        .enumerate()
+        .map(|(v, owned)| DistanceTwoColoringProgram {
+            num_steps: schedule.num_steps,
+            my_step: match schedule.step[v] {
+                usize::MAX => None,
+                s => Some(s),
+            },
+            my_color: None,
+            forbidden: Vec::new(),
+            owned,
+        })
+        .collect();
+    Ok((programs, schedule))
+}
+
+/// Assembles a [`BipartiteColoring`] from the per-node engine outputs (the
+/// ledger is left empty; the run that produced the outputs carries the cost).
+pub fn assemble_coloring(outputs: &[Option<usize>]) -> BipartiteColoring {
+    let colors: Vec<usize> = outputs.iter().map(|c| c.unwrap_or(usize::MAX)).collect();
+    let num_colors = outputs.iter().flatten().map(|&c| c + 1).max().unwrap_or(0);
+    BipartiteColoring {
+        colors,
+        num_colors,
+        ledger: RoundLedger::new(),
+    }
+}
+
+/// Outcome of a measured distance-two coloring run on the engine.
+#[derive(Debug, Clone)]
+pub struct DistributedColoringOutcome {
+    /// The assembled coloring (identical to the central
+    /// [`bipartite_distance_two_coloring`] oracle).
+    pub coloring: BipartiteColoring,
+    /// The engine report (rounds, messages, bandwidth, per-round stats).
+    pub report: RunReport<Option<usize>>,
+    /// Measured accounting: `2·steps` rounds against the Lemma 3.12 charge.
+    pub ledger: RoundLedger,
+    /// Number of reduction steps that were executed.
+    pub steps: usize,
+}
+
+/// Runs the measured distance-two coloring on the sequential executor.
+///
+/// # Errors
+///
+/// Returns the validation error of [`distance_two_coloring_programs`] or a
+/// formatted engine error.
+pub fn distributed_bipartite_coloring(
+    graph: &Graph,
+    b: &BipartiteGraph,
+    left_owner: &[usize],
+    targets: &[usize],
+) -> Result<DistributedColoringOutcome, String> {
+    distributed_bipartite_coloring_on(
+        graph,
+        b,
+        left_owner,
+        targets,
+        &SyncExecutor,
+        &ExecutorConfig::default(),
+    )
+}
+
+/// Runs the measured distance-two coloring on an arbitrary [`Executor`].
+/// Outputs and accounting are identical across executors.
+///
+/// # Errors
+///
+/// Returns the validation error of [`distance_two_coloring_programs`] or a
+/// formatted engine error.
+pub fn distributed_bipartite_coloring_on<E: Executor>(
+    graph: &Graph,
+    b: &BipartiteGraph,
+    left_owner: &[usize],
+    targets: &[usize],
+    executor: &E,
+    config: &ExecutorConfig,
+) -> Result<DistributedColoringOutcome, String> {
+    let (programs, schedule) = distance_two_coloring_programs(graph, b, left_owner, targets)?;
+    let report = executor
+        .run(graph, programs, config)
+        .map_err(|e: ExecutionError| e.to_string())?;
+    let coloring = assemble_coloring(&report.outputs);
+    let mut ledger = RoundLedger::new();
+    report.charge_with_formula(
+        &mut ledger,
+        "distance-two coloring (Lemma 3.12, measured)",
+        formulas::bipartite_coloring_rounds(
+            b.max_left_degree(),
+            b.max_right_degree(),
+            graph.n().max(2),
+        ),
+    );
+    Ok(DistributedColoringOutcome {
+        coloring,
+        report,
+        ledger,
+        steps: schedule.num_steps,
+    })
+}
+
 /// A distance-two coloring of all nodes of an ordinary graph (i.e. a proper
 /// coloring of `G²`), via the identifier-ordered greedy. Used by the plain
 /// Lemma 3.10 instantiation when no degree reduction is applied.
@@ -163,6 +697,14 @@ mod tests {
     use super::*;
     use mds_graphs::bipartite::BipartiteRepresentation;
     use mds_graphs::generators;
+
+    /// The representation instance of the measured coloring: `B_G` with every
+    /// left node hosted by its own original node.
+    fn representation_instance(g: &Graph) -> (BipartiteGraph, Vec<usize>) {
+        let rep = BipartiteRepresentation::from_graph(g);
+        let owners: Vec<usize> = (0..g.n()).collect();
+        (rep.graph().clone(), owners)
+    }
 
     #[test]
     fn coloring_of_bipartite_representation_is_proper_and_small() {
@@ -238,5 +780,151 @@ mod tests {
         // Corrupt: give two conflicting nodes the same color.
         coloring.colors[1] = coloring.colors[2];
         assert!(verify_bipartite_coloring(rep.graph(), &coloring, &targets).is_err());
+    }
+
+    #[test]
+    fn schedule_never_puts_conflicting_targets_in_one_step() {
+        let g = generators::gnp(40, 0.12, 9);
+        let rep = BipartiteRepresentation::from_graph(&g);
+        let targets: Vec<usize> = (0..g.n()).collect();
+        let (schedule, is_target) = schedule_and_targets(rep.graph(), &targets);
+        assert!(schedule.num_steps >= 1);
+        assert!(schedule.num_batches >= 1);
+        for &r in &targets {
+            for_each_conflict(rep.graph(), &is_target, r, |r2| {
+                assert_ne!(schedule.step[r], schedule.step[r2]);
+            });
+            assert_eq!(schedule.batch[r], r % schedule.num_batches);
+        }
+    }
+
+    #[test]
+    fn reduction_computes_colors_the_schedule_does_not_contain() {
+        // The regression against a schedule that secretly precomputes the
+        // answer: on a ring the residue batches over-provision (D + 1
+        // batches for a cycle-power conflict graph), so the reduction must
+        // genuinely compress — final colors diverge from both the batch and
+        // the step of some target, i.e. they only exist in the message flow.
+        let g = generators::cycle(47);
+        let rep = BipartiteRepresentation::from_graph(&g);
+        let targets: Vec<usize> = (0..g.n()).collect();
+        let schedule = coloring_schedule(rep.graph(), &targets);
+        let coloring = bipartite_distance_two_coloring(rep.graph(), &targets, g.n());
+        verify_bipartite_coloring(rep.graph(), &coloring, &targets).unwrap();
+        assert!(targets
+            .iter()
+            .any(|&r| coloring.colors[r] != schedule.step[r]));
+        assert!(targets
+            .iter()
+            .any(|&r| coloring.colors[r] != schedule.batch[r]));
+        // And the engine agrees bit for bit.
+        let owners: Vec<usize> = (0..g.n()).collect();
+        let run = distributed_bipartite_coloring(&g, rep.graph(), &owners, &targets).unwrap();
+        assert_eq!(run.coloring.colors, coloring.colors);
+    }
+
+    #[test]
+    fn measured_program_matches_oracle_on_a_ring_within_the_paper_charge() {
+        let g = generators::cycle(50);
+        let (b, owners) = representation_instance(&g);
+        let targets: Vec<usize> = (0..g.n()).collect();
+        let oracle = bipartite_distance_two_coloring(&b, &targets, g.n());
+        let run = distributed_bipartite_coloring(&g, &b, &owners, &targets).unwrap();
+        assert_eq!(run.coloring.colors, oracle.colors);
+        assert_eq!(run.coloring.num_colors, oracle.num_colors);
+        assert_eq!(
+            run.report.rounds,
+            formulas::measured_coloring_rounds(run.steps as u64)
+        );
+        // The measured rounds stay below the Lemma 3.12 charge even on the
+        // sparse ring, where the budget is tight.
+        assert!(
+            run.report.rounds
+                <= formulas::bipartite_coloring_rounds(
+                    b.max_left_degree(),
+                    b.max_right_degree(),
+                    g.n()
+                )
+        );
+        verify_bipartite_coloring(&b, &run.coloring, &targets).unwrap();
+    }
+
+    #[test]
+    fn measured_program_is_identical_on_both_executors() {
+        let g = generators::gnp(35, 0.12, 8);
+        let (b, owners) = representation_instance(&g);
+        let targets: Vec<usize> = (0..g.n()).collect();
+        let seq = distributed_bipartite_coloring(&g, &b, &owners, &targets).unwrap();
+        let par = distributed_bipartite_coloring_on(
+            &g,
+            &b,
+            &owners,
+            &targets,
+            &congest_sim::ParallelExecutor::new(3),
+            &ExecutorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(seq.report, par.report);
+        assert_eq!(seq.coloring.colors, par.coloring.colors);
+    }
+
+    #[test]
+    fn degenerate_instance_without_left_nodes_colors_everything_zero() {
+        // Δ_L = 0: no constraint exists, nothing conflicts — one step gives
+        // every target color 0 and the oracle agrees.
+        let g = generators::path(5);
+        let b = BipartiteGraph::new(0, 5);
+        let targets: Vec<usize> = (0..5).collect();
+        let oracle = bipartite_distance_two_coloring(&b, &targets, 5);
+        assert_eq!(oracle.num_colors, 1);
+        assert!(oracle.colors.iter().all(|&c| c == 0));
+        let run = distributed_bipartite_coloring(&g, &b, &[], &targets).unwrap();
+        assert_eq!(run.coloring.colors, oracle.colors);
+        assert_eq!(run.steps, 1);
+        assert_eq!(run.report.rounds, 2);
+        assert!(run.report.rounds <= formulas::bipartite_coloring_rounds(0, 0, 5));
+    }
+
+    #[test]
+    fn empty_target_set_spends_the_single_observing_round() {
+        let g = generators::path(4);
+        let (b, owners) = representation_instance(&g);
+        let run = distributed_bipartite_coloring(&g, &b, &owners, &[]).unwrap();
+        assert_eq!(run.steps, 0);
+        assert_eq!(run.report.rounds, 1);
+        assert_eq!(run.coloring.num_colors, 0);
+        assert!(run.coloring.colors.iter().all(|&c| c == usize::MAX));
+    }
+
+    #[test]
+    fn validation_rejects_misaligned_instances() {
+        let g = generators::path(4);
+        let (b, owners) = representation_instance(&g);
+
+        // Right side not graph-aligned.
+        let small = BipartiteGraph::new(2, 3);
+        let err = distance_two_coloring_programs(&g, &small, &[0, 1], &[]).unwrap_err();
+        assert!(err.contains("graph-aligned"), "{err}");
+
+        // Owner count mismatch.
+        let err = distance_two_coloring_programs(&g, &b, &owners[..2], &[]).unwrap_err();
+        assert!(err.contains("left owners"), "{err}");
+
+        // Owner out of range.
+        let bad_owners = vec![9, 1, 2, 3];
+        let err = distance_two_coloring_programs(&g, &b, &bad_owners, &[]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+
+        // Member outside the owner's inclusive neighborhood: claim node 3
+        // owns the constraint that contains node 0's value copy.
+        let far_owners = vec![3, 1, 2, 3];
+        let err = distance_two_coloring_programs(&g, &b, &far_owners, &[0]).unwrap_err();
+        assert!(err.contains("inclusive neighborhood"), "{err}");
+
+        // Duplicate and out-of-range targets.
+        let err = distance_two_coloring_programs(&g, &b, &owners, &[1, 1]).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+        let err = distance_two_coloring_programs(&g, &b, &owners, &[7]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
     }
 }

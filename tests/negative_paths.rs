@@ -1,0 +1,169 @@
+//! Negative-path coverage for the program-composition layer and the measured
+//! distance-two coloring: phase/graph misalignment, empty graphs, and the
+//! `Δ_L = 0` degenerate bipartite inputs — paths that are validated in the
+//! library but were previously untested end to end.
+
+use congest_mds::congest::ledger::formulas;
+use congest_mds::congest::{
+    ComposedProgram, ExecutionError, ExecutorConfig, Graph, Inbox, NodeContext, NodeProgram,
+    Outbox, PhaseSpec, RoundAction, SyncExecutor,
+};
+use congest_mds::decomposition::coloring::{
+    bipartite_distance_two_coloring, distance_two_coloring_programs,
+    distributed_bipartite_coloring, verify_bipartite_coloring,
+};
+use congest_mds::graphs::bipartite::{BipartiteGraph, BipartiteRepresentation};
+use congest_mds::graphs::generators;
+use congest_mds::mds::pipeline::{self, DerandRoute, MdsConfig};
+
+/// A trivial one-round program for exercising the composer.
+struct Noop;
+
+impl NodeProgram for Noop {
+    type Message = ();
+    type Output = usize;
+
+    fn init(&mut self, _: &NodeContext<'_>, _: &mut Outbox<'_, ()>) {}
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        _: &Inbox<'_, ()>,
+        _: &mut Outbox<'_, ()>,
+    ) -> RoundAction<usize> {
+        RoundAction::Halt(ctx.id.0)
+    }
+}
+
+// ---- congest_sim::compose ----
+
+#[test]
+fn composer_rejects_phase_graph_misalignment_and_records_nothing() {
+    let g = generators::path(4);
+    let mut composed = ComposedProgram::new(&g, &SyncExecutor, ExecutorConfig::default());
+    // A phase sized for a different graph: 2 programs for 4 nodes.
+    let err = composed
+        .measured(PhaseSpec::named("misaligned"), vec![Noop, Noop])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ExecutionError::ProgramCountMismatch {
+            programs: 2,
+            nodes: 4
+        }
+    ));
+    // The failed phase leaves no trace in the ledger or the phase list; the
+    // composer remains usable for a correctly sized phase.
+    assert_eq!(composed.ledger().phases().len(), 0);
+    let ok = composed
+        .measured(
+            PhaseSpec::named("aligned"),
+            (0..4).map(|_| Noop).collect::<Vec<_>>(),
+        )
+        .unwrap();
+    assert_eq!(ok.outputs, vec![0, 1, 2, 3]);
+    let report = composed.finish();
+    assert_eq!(report.phases.len(), 1);
+    assert_eq!(report.measured_phase_count(), 1);
+}
+
+#[test]
+fn composer_handles_the_empty_graph() {
+    let g = Graph::empty(0);
+    let mut composed = ComposedProgram::new(&g, &SyncExecutor, ExecutorConfig::default());
+    // A measured phase over zero nodes is legal and spends zero rounds.
+    let report = composed
+        .measured(PhaseSpec::named("empty measured"), Vec::<Noop>::new())
+        .unwrap();
+    assert_eq!(report.rounds, 0);
+    assert!(report.outputs.is_empty());
+    // Charged bookkeeping still accumulates normally.
+    composed.charged(PhaseSpec::named("empty charged").with_formula(3), 1, 0);
+    let finished = composed.finish();
+    assert_eq!(finished.phases.len(), 2);
+    assert_eq!(finished.measured_rounds(), 0);
+    // Zero measured rounds plus the charged formula.
+    assert_eq!(finished.ledger.total_formula_rounds(), 3);
+}
+
+#[test]
+fn pipeline_survives_empty_and_edgeless_graphs_on_the_coloring_route() {
+    let config = MdsConfig {
+        route: DerandRoute::Coloring,
+        ..MdsConfig::default()
+    };
+    let empty = Graph::empty(0);
+    let run = pipeline::run(&empty, &config);
+    let oracle = pipeline::central_oracle(&empty, &config);
+    assert!(run.dominating_set.is_empty());
+    assert_eq!(run.dominating_set, oracle.dominating_set);
+
+    // Isolated nodes: every node must join; the routes agree bit for bit.
+    let isolated = Graph::empty(5);
+    let run = pipeline::run(&isolated, &config);
+    let oracle = pipeline::central_oracle(&isolated, &config);
+    assert_eq!(run.dominating_set.len(), 5);
+    assert_eq!(run.dominating_set, oracle.dominating_set);
+    assert_eq!(run.assignment, oracle.assignment);
+}
+
+// ---- the measured distance-two coloring ----
+
+#[test]
+fn coloring_program_rejects_misaligned_instances() {
+    let g = generators::path(4);
+    let rep = BipartiteRepresentation::from_graph(&g);
+    let owners: Vec<usize> = (0..4).collect();
+
+    // Right side not aligned with the network.
+    let foreign = BipartiteGraph::new(2, 7);
+    let err = distance_two_coloring_programs(&g, &foreign, &[0, 1], &[]).unwrap_err();
+    assert!(err.contains("graph-aligned"), "{err}");
+
+    // Owner list of the wrong length.
+    let err = distance_two_coloring_programs(&g, rep.graph(), &owners[..3], &[]).unwrap_err();
+    assert!(err.contains("left owners"), "{err}");
+
+    // An owner that cannot reach its constraint's members in one hop.
+    let far = vec![3, 1, 2, 3];
+    let err = distance_two_coloring_programs(&g, rep.graph(), &far, &[0]).unwrap_err();
+    assert!(err.contains("inclusive neighborhood"), "{err}");
+
+    // Duplicate / out-of-range targets.
+    let err = distance_two_coloring_programs(&g, rep.graph(), &owners, &[2, 2]).unwrap_err();
+    assert!(err.contains("twice"), "{err}");
+    let err = distance_two_coloring_programs(&g, rep.graph(), &owners, &[11]).unwrap_err();
+    assert!(err.contains("out of range"), "{err}");
+}
+
+#[test]
+fn degenerate_bipartite_input_without_left_nodes_is_colored_in_one_step() {
+    // Δ_L = 0: no constraint node exists, so nothing conflicts. The oracle
+    // and the engine agree on the all-zero coloring, and the measured run
+    // spends one decide plus one observing round — within the (floored)
+    // Lemma 3.12 charge.
+    let g = generators::cycle(6);
+    let b = BipartiteGraph::new(0, 6);
+    let targets: Vec<usize> = (0..6).collect();
+    assert_eq!(b.max_left_degree(), 0);
+
+    let oracle = bipartite_distance_two_coloring(&b, &targets, g.n());
+    assert_eq!(oracle.num_colors, 1);
+    verify_bipartite_coloring(&b, &oracle, &targets).unwrap();
+
+    let run = distributed_bipartite_coloring(&g, &b, &[], &targets).unwrap();
+    assert_eq!(run.coloring.colors, oracle.colors);
+    assert_eq!(run.steps, 1);
+    assert_eq!(run.report.rounds, formulas::measured_coloring_rounds(1));
+    assert!(run.report.rounds <= formulas::bipartite_coloring_rounds(0, 0, g.n()));
+}
+
+#[test]
+fn coloring_program_on_the_empty_graph_is_a_noop() {
+    let g = Graph::empty(0);
+    let b = BipartiteGraph::new(0, 0);
+    let run = distributed_bipartite_coloring(&g, &b, &[], &[]).unwrap();
+    assert_eq!(run.report.rounds, 0);
+    assert_eq!(run.coloring.num_colors, 0);
+    assert!(run.coloring.colors.is_empty());
+}

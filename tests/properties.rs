@@ -333,4 +333,80 @@ proptest! {
             prop_assert!(verify::is_dominating_set(&graph, &sync.dominating_set));
         }
     }
+
+    // The end-to-end Theorem 1.2 acceptance property, now that all three of
+    // its phase kinds — the distributed MWU, the Lemma 3.12 distance-two
+    // coloring (R4), and the conditional-expectation schedule — are measured:
+    // the composed run is bit-for-bit the central oracle on both executors,
+    // every measured phase stays at or below its paper charge, and the
+    // measured total never exceeds the summed paper charges.
+    #[test]
+    fn theorem_1_2_is_engine_measured_end_to_end(
+        n in 2usize..36,
+        p_num in 2u32..30,
+        seed in 0u64..500,
+        threads in 2usize..6,
+    ) {
+        use congest_mds::congest::PhaseMode;
+
+        let graph = generators::gnp(n, p_num as f64 / 100.0, seed);
+        let config = MdsConfig { route: DerandRoute::Coloring, ..MdsConfig::default() };
+        let oracle = pipeline::central_oracle(&graph, &config);
+        let sync = pipeline::theorem_1_2(&graph, &config);
+        let par = pipeline::theorem_1_2_on(
+            &graph,
+            &config,
+            &ParallelExecutor::new(forced_threads(threads)),
+        );
+
+        // Bit-for-bit the central oracle, on both executors.
+        prop_assert_eq!(&sync.dominating_set, &oracle.dominating_set);
+        prop_assert_eq!(&sync.assignment, &oracle.assignment);
+        prop_assert_eq!(&sync.stages, &oracle.stages);
+        prop_assert_eq!(&par.dominating_set, &oracle.dominating_set);
+        prop_assert_eq!(&par.ledger, &sync.ledger);
+        prop_assert!(verify::is_dominating_set(&graph, &sync.dominating_set));
+
+        // Every rounding step ran a measured coloring phase whose rounds are
+        // exactly the measured formula and at most the Lemma 3.12 charge.
+        let coloring_phases: Vec<_> = sync
+            .ledger
+            .phases()
+            .iter()
+            .filter(|p| p.name == "distance-two coloring (Lemma 3.12, measured)")
+            .collect();
+        if n > 0 && !sync.phases.is_empty() {
+            for phase in &coloring_phases {
+                prop_assert!(phase.simulated_rounds >= 1);
+                prop_assert!(
+                    phase.simulated_rounds <= phase.formula_rounds.unwrap(),
+                    "coloring phase measured {} rounds > Lemma 3.12 charge {:?}",
+                    phase.simulated_rounds,
+                    phase.formula_rounds
+                );
+            }
+        }
+        prop_assert_eq!(
+            sync.measured_coloring_rounds(),
+            coloring_phases.iter().map(|p| p.simulated_rounds).sum::<u64>()
+        );
+        prop_assert_eq!(oracle.measured_coloring_rounds(), 0);
+
+        // Engine-measured end to end: every phase of the composed run that
+        // spent rounds ran on the engine — the only charged phases left on
+        // this route are zero-round bookkeeping. The oracle never touches
+        // the engine. The measured total stays at or below the summed paper
+        // charges.
+        prop_assert!(sync
+            .phases
+            .iter()
+            .all(|p| p.mode == PhaseMode::Measured || p.rounds == 0));
+        prop_assert_eq!(oracle.measured_engine_rounds(), 0);
+        prop_assert!(
+            sync.measured_engine_rounds() <= sync.ledger.total_formula_rounds(),
+            "measured total {} exceeds the summed paper charges {}",
+            sync.measured_engine_rounds(),
+            sync.ledger.total_formula_rounds()
+        );
+    }
 }
