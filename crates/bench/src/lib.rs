@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use congest_sim::Graph;
+use congest_sim::{Graph, PhaseMode, PhaseOutcome};
 use mds_cds::build::{connect_dominating_set, CdsConfig};
 use mds_cds::verify::is_connected_dominating_set;
 use mds_core::pipeline::{theorem_1_1, theorem_1_2, MdsConfig};
@@ -519,17 +519,85 @@ pub fn run_experiment(id: &str) -> String {
     }
 }
 
+/// Schema version stamped into the benchmark JSON. The perf-trend CI job
+/// refuses to compare files with different versions, so bump this whenever a
+/// field is added, removed or changes meaning — and regenerate
+/// `BENCH_baseline.json` in the same commit.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Largest `n` the Theorem 1.1 (network-decomposition) route runs at in the
+/// benchmark sweep. Its derandomization serializes coin fixing through
+/// clusters — `O(m · steps)` work with `steps = Θ(n)` — so the route is
+/// quadratic-ish in instance size and dominates the sweep long before the
+/// Theorem 1.2 route (whose schedule length is a color count, not `n`)
+/// breaks a sweat. Sizes above the cap benchmark the coloring route only.
+pub const THEOREM_1_1_MAX_N: usize = 2000;
+
+/// The instance a sweep size maps to: the historical `G(n, 8/n)` instances
+/// for the seed sizes (so trend lines stay comparable across PRs) and sparse
+/// `G(n, m=4n)` for the extended sizes, where the `O(n²)` `gnp` pair walk is
+/// no longer affordable and the integer-only `gnm` sampler keeps the graph —
+/// and therefore the round/message gate — identical on every platform.
+pub fn bench_family(n: usize) -> GraphFamily {
+    if n <= 200 {
+        GraphFamily::Gnp {
+            n,
+            p: 8.0 / n.max(9) as f64,
+        }
+    } else {
+        GraphFamily::Gnm { n, m: 4 * n }
+    }
+}
+
+/// The sweep sizes for a given ceiling: the three seed sizes plus decade
+/// steps `10³, 10⁴, …` up to and including `max_n`.
+pub fn sweep_sizes(max_n: usize) -> Vec<usize> {
+    let mut sizes = JSON_BENCH_SIZES.to_vec();
+    let mut n = 1000usize;
+    while n <= max_n {
+        sizes.push(n);
+        n = n.saturating_mul(10);
+    }
+    sizes
+}
+
+/// Sum of engine wall time over measured phases selected by `pred`, in
+/// milliseconds.
+fn phase_wall_ms(phases: &[PhaseOutcome], pred: impl Fn(&PhaseOutcome) -> bool) -> f64 {
+    // `+ 0.0` normalizes the `-0.0` an empty `Sum<f64>` starts from, so
+    // routes without a matching phase print `0.000`, not `-0.000`.
+    phases
+        .iter()
+        .filter(|p| p.mode == PhaseMode::Measured && pred(p))
+        .map(|p| p.wall_nanos as f64 / 1e6)
+        .sum::<f64>()
+        + 0.0
+}
+
 /// Machine-readable pipeline benchmark: runs both theorem routes of the
 /// *composed* engine pipeline over a size sweep and reports, per run, the
 /// instance shape, the dominating-set size, measured vs paper-formula round
-/// totals, and wall time — the JSON written to `BENCH_pipeline.json` by
-/// `experiments --json`, so the perf trajectory is tracked across PRs.
+/// totals, wall time and its per-phase breakdown — the JSON written to
+/// `BENCH_pipeline.json` by `experiments --json` and gated against
+/// `BENCH_baseline.json` by the CI perf-trend job.
+///
+/// Sizes above [`THEOREM_1_1_MAX_N`] skip the Theorem 1.1 route (see the
+/// constant's docs). The wall breakdown classifies measured phases by name:
+/// `mwu` (Part I LP), `coloring` (Lemma 3.12 distance-two coloring), `derand`
+/// (every other measured phase — the scheduled coin fixing), and `other` (the
+/// remainder: central bookkeeping, charged simulations, graph-local setup).
 pub fn pipeline_benchmark_json(sizes: &[usize]) -> String {
     let config = MdsConfig::default();
     let mut entries = Vec::new();
     for &n in sizes {
-        let g = generators::gnp(n, 8.0 / n.max(9) as f64, 3);
-        for route in ["theorem_1_1", "theorem_1_2"] {
+        let family = bench_family(n);
+        let g = generators::generate(&family, 3);
+        let routes: &[&str] = if n <= THEOREM_1_1_MAX_N {
+            &["theorem_1_1", "theorem_1_2"]
+        } else {
+            &["theorem_1_2"]
+        };
+        for &route in routes {
             let start = std::time::Instant::now();
             let r = if route == "theorem_1_1" {
                 theorem_1_1(&g, &config)
@@ -538,38 +606,56 @@ pub fn pipeline_benchmark_json(sizes: &[usize]) -> String {
             };
             let wall = start.elapsed();
             assert!(verify::is_dominating_set(&g, &r.dominating_set));
-            let measured_engine_rounds = r.measured_engine_rounds();
-            let measured_coloring_rounds = r.measured_coloring_rounds();
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            let mwu_ms = phase_wall_ms(&r.phases, |p| p.name.contains("part I"));
+            let coloring_ms = phase_wall_ms(&r.phases, |p| p.name.contains("Lemma 3.12"));
+            let derand_ms = phase_wall_ms(&r.phases, |p| {
+                !p.name.contains("part I") && !p.name.contains("Lemma 3.12")
+            });
+            let other_ms = (wall_ms - mwu_ms - coloring_ms - derand_ms).max(0.0);
             entries.push(format!(
                 concat!(
-                    "    {{\"n\": {}, \"m\": {}, \"max_degree\": {}, \"route\": \"{}\", ",
+                    "    {{\"n\": {}, \"m\": {}, \"max_degree\": {}, \"graph\": \"{}\", ",
+                    "\"route\": \"{}\", ",
                     "\"size\": {}, \"lp_lower_bound\": {:.3}, ",
                     "\"measured_engine_rounds\": {}, \"measured_coloring_rounds\": {}, ",
                     "\"simulated_rounds\": {}, ",
-                    "\"formula_rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}}}"
+                    "\"formula_rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, ",
+                    "\"wall_mwu_ms\": {:.3}, \"wall_coloring_ms\": {:.3}, ",
+                    "\"wall_derand_ms\": {:.3}, \"wall_other_ms\": {:.3}}}"
                 ),
                 g.n(),
                 g.m(),
                 g.max_degree(),
+                family.label(),
                 route,
                 r.size(),
                 r.lp_lower_bound,
-                measured_engine_rounds,
-                measured_coloring_rounds,
+                r.measured_engine_rounds(),
+                r.measured_coloring_rounds(),
                 r.ledger.total_simulated_rounds(),
                 r.ledger.total_formula_rounds(),
                 r.ledger.total_messages(),
-                wall.as_secs_f64() * 1e3,
+                wall_ms,
+                mwu_ms,
+                coloring_ms,
+                derand_ms,
+                other_ms,
             ));
         }
     }
     format!(
-        "{{\n  \"benchmark\": \"pipeline\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        concat!(
+            "{{\n  \"benchmark\": \"pipeline\",\n",
+            "  \"schema_version\": {},\n",
+            "  \"runs\": [\n{}\n  ]\n}}\n"
+        ),
+        BENCH_SCHEMA_VERSION,
         entries.join(",\n")
     )
 }
 
-/// Writes [`pipeline_benchmark_json`] over the default size sweep to `path`.
+/// Writes [`pipeline_benchmark_json`] over the given size sweep to `path`.
 ///
 /// # Errors
 ///
@@ -578,8 +664,12 @@ pub fn write_pipeline_benchmark(path: &str, sizes: &[usize]) -> std::io::Result<
     std::fs::write(path, pipeline_benchmark_json(sizes))
 }
 
-/// The size sweep `experiments --json` uses by default.
+/// The seed size sweep `experiments --json` uses by default; `--max-n`
+/// extends it with decade steps via [`sweep_sizes`].
 pub const JSON_BENCH_SIZES: [usize; 3] = [50, 100, 200];
+
+pub mod flood;
+pub mod trend;
 
 /// Convenience used by the Criterion benches: a small graph per family label.
 pub fn bench_graph(label: &str) -> Graph {
@@ -621,6 +711,8 @@ mod tests {
         let json = pipeline_benchmark_json(&[30]);
         for key in [
             "\"benchmark\": \"pipeline\"",
+            "\"schema_version\": 2",
+            "\"graph\": \"gnp_n30_",
             "\"route\": \"theorem_1_1\"",
             "\"route\": \"theorem_1_2\"",
             "\"measured_engine_rounds\"",
@@ -628,6 +720,10 @@ mod tests {
             "\"simulated_rounds\"",
             "\"formula_rounds\"",
             "\"wall_ms\"",
+            "\"wall_mwu_ms\"",
+            "\"wall_coloring_ms\"",
+            "\"wall_derand_ms\"",
+            "\"wall_other_ms\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -646,5 +742,29 @@ mod tests {
             .find(|l| l.contains("theorem_1_1"))
             .expect("theorem_1_1 entry present");
         assert!(nd_route.contains("\"measured_coloring_rounds\": 0"));
+    }
+
+    #[test]
+    fn sweep_sizes_extend_the_seed_sweep_by_decades() {
+        assert_eq!(sweep_sizes(0), vec![50, 100, 200]);
+        assert_eq!(sweep_sizes(999), vec![50, 100, 200]);
+        assert_eq!(sweep_sizes(1000), vec![50, 100, 200, 1000]);
+        assert_eq!(
+            sweep_sizes(100_000),
+            vec![50, 100, 200, 1000, 10_000, 100_000]
+        );
+    }
+
+    #[test]
+    fn theorem_1_1_route_is_capped_in_the_sweep() {
+        // The seed sizes stay on gnp; extended sizes switch to gnm.
+        assert!(matches!(bench_family(200), GraphFamily::Gnp { .. }));
+        assert!(matches!(
+            bench_family(1000),
+            GraphFamily::Gnm { n: 1000, m: 4000 }
+        ));
+        // Above the cap only the coloring route runs.
+        let json = pipeline_benchmark_json(&[30]);
+        assert!(json.contains("theorem_1_1"), "below cap: both routes");
     }
 }

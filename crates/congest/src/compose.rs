@@ -94,6 +94,11 @@ pub struct PhaseOutcome {
     pub rounds: u64,
     /// Messages sent (measured or simulated).
     pub messages: u64,
+    /// Wall-clock time spent inside [`crate::engine::Executor::run`] for
+    /// measured phases, in nanoseconds; `0` for charged phases (their central
+    /// simulation happens outside the composer). Host-dependent — excluded
+    /// from golden trajectories and only compared as a trend, never exactly.
+    pub wall_nanos: u64,
 }
 
 /// Everything a finished composition reports: the unified ledger and the
@@ -224,7 +229,9 @@ impl<'a, E: Executor> ComposedProgram<'a, E> {
         P::Message: Send + Sync,
         P::Output: Send,
     {
+        let started = std::time::Instant::now();
         let report = self.executor.run(self.graph, programs, &self.config)?;
+        let wall_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         match spec.formula_rounds {
             Some(f) => report.charge_with_formula(&mut self.ledger, &spec.name, f),
             None => report.charge(&mut self.ledger, &spec.name),
@@ -234,6 +241,7 @@ impl<'a, E: Executor> ComposedProgram<'a, E> {
             mode: PhaseMode::Measured,
             rounds: report.rounds,
             messages: report.messages,
+            wall_nanos,
         });
         Ok(report)
     }
@@ -252,6 +260,7 @@ impl<'a, E: Executor> ComposedProgram<'a, E> {
             mode: PhaseMode::Charged,
             rounds: simulated_rounds,
             messages,
+            wall_nanos: 0,
         });
     }
 
@@ -264,6 +273,7 @@ impl<'a, E: Executor> ComposedProgram<'a, E> {
                 mode: PhaseMode::Charged,
                 rounds: phase.simulated_rounds,
                 messages: phase.messages,
+                wall_nanos: 0,
             });
         }
         self.ledger.absorb(ledger);

@@ -238,35 +238,67 @@ impl Executor for SyncExecutor {
 /// Workers are (re)spawned per round via [`std::thread::scope`] — the simple
 /// scheme that needs no `unsafe` and no cross-round synchronization. The
 /// spawn cost (tens of microseconds per thread) is amortized only when the
-/// per-round work dominates, i.e. on large graphs; prefer [`SyncExecutor`]
-/// for small `n` or very cheap programs.
+/// per-round work dominates; the executor therefore *adapts its fan-out to
+/// the node count*: a worker is only spawned for every full `min_chunk`
+/// nodes, so small graphs run on few threads (or one) and large graphs use
+/// the full configured width. [`ParallelExecutor::new`] keeps the historical
+/// exact partition (`min_chunk = 1`) so equivalence tests exercise genuine
+/// multi-block execution even on tiny graphs; [`ParallelExecutor::auto`] and
+/// [`Default`] enable the adaptive policy.
 #[derive(Debug, Clone)]
 pub struct ParallelExecutor {
     threads: usize,
+    min_chunk: usize,
 }
 
 impl ParallelExecutor {
-    /// Creates an executor using `threads` worker threads (at least one).
+    /// Minimum nodes per worker under the adaptive policy
+    /// ([`ParallelExecutor::auto`]): below this, thread-spawn latency beats
+    /// the per-round work a block of typical programs performs.
+    pub const DEFAULT_MIN_CHUNK: usize = 2048;
+
+    /// Creates an executor using exactly `threads` worker threads (at least
+    /// one), regardless of graph size.
     pub fn new(threads: usize) -> Self {
         ParallelExecutor {
             threads: threads.max(1),
+            min_chunk: 1,
         }
+    }
+
+    /// Creates an executor using the available hardware parallelism with
+    /// adaptive chunking: the fan-out shrinks on small graphs so that every
+    /// worker owns at least [`ParallelExecutor::DEFAULT_MIN_CHUNK`] nodes.
+    pub fn auto() -> Self {
+        ParallelExecutor {
+            threads: thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1),
+            min_chunk: Self::DEFAULT_MIN_CHUNK,
+        }
+    }
+
+    /// Overrides the minimum nodes per worker (at least one).
+    pub fn with_min_chunk(mut self, min_chunk: usize) -> Self {
+        self.min_chunk = min_chunk.max(1);
+        self
     }
 
     /// The configured number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// The minimum number of nodes assigned to a worker.
+    pub fn min_chunk(&self) -> usize {
+        self.min_chunk
+    }
 }
 
 impl Default for ParallelExecutor {
-    /// Uses the available hardware parallelism.
+    /// [`ParallelExecutor::auto`]: hardware parallelism, adaptive chunking.
     fn default() -> Self {
-        ParallelExecutor::new(
-            thread::available_parallelism()
-                .map(|c| c.get())
-                .unwrap_or(1),
-        )
+        ParallelExecutor::auto()
     }
 }
 
@@ -282,7 +314,11 @@ impl Executor for ParallelExecutor {
         P::Message: Send + Sync,
         P::Output: Send,
     {
-        run_engine(graph, programs, config, self.threads)
+        // Adaptive fan-out: one worker per `min_chunk` nodes, capped at the
+        // configured width. Purely a wall-clock decision — block boundaries
+        // never influence outputs or accounting.
+        let width = (graph.n() / self.min_chunk).clamp(1, self.threads);
+        run_engine(graph, programs, config, width)
     }
 }
 
@@ -352,12 +388,15 @@ struct Accounting {
 
 /// Commits the queued outboxes of all nodes, in node order, into `store.next`,
 /// charging each message. Delivery slots were resolved at send time, so the
-/// hot loop is a straight arena write per message. Returns `(messages, bits)`
-/// sent this round.
+/// hot loop is a straight arena write per message; a send to a non-neighbor
+/// surfaces here as [`INVALID_SLOT`], with the offending target parked in the
+/// sender's `invalid` scratch slot. Returns `(messages, bits)` sent this
+/// round.
 fn commit_round<M: MessageSize>(
     graph: &Graph,
     store: &mut MessageStore<M>,
     pending: &mut [Vec<OutMsg<M>>],
+    invalid: &[Option<NodeId>],
     acct: &mut Accounting,
     bandwidth: usize,
     enforce: bool,
@@ -367,8 +406,11 @@ fn commit_round<M: MessageSize>(
     for (v, outbox) in pending.iter_mut().enumerate() {
         let from = NodeId(v);
         let base = graph.slot_range(from).start;
-        for OutMsg { to, slot: i, msg } in outbox.drain(..) {
+        for OutMsg { slot: i, msg } in outbox.drain(..) {
             if i == INVALID_SLOT {
+                // The outbox records the first non-neighbor target, which is
+                // exactly the send this first sentinel belongs to.
+                let to = invalid[v].expect("invalid slot without recorded target");
                 return Err(ExecutionError::NotANeighbor { from, to });
             }
             let bits = msg.size_bits();
@@ -385,7 +427,7 @@ fn commit_round<M: MessageSize>(
             }
             messages += 1;
             bits_sent = bits_sent.saturating_add(bits as u64);
-            let slot = store.mirror[base + i];
+            let slot = store.mirror[base + i as usize];
             store.next[slot] = Some(msg);
             store.next_written.push(slot);
         }
@@ -405,7 +447,9 @@ struct RoundView<'e, M> {
 
 /// Runs one round of programs for the contiguous node block starting at
 /// `base`. Shared by the sequential path (one block covering everything) and
-/// the worker threads of the parallel path.
+/// the worker threads of the parallel path. Returns the number of nodes that
+/// halted during this round, so the driver can keep a running halted count
+/// instead of rescanning all `n` flags every round.
 fn execute_block<P: NodeProgram>(
     view: &RoundView<'_, P::Message>,
     base: usize,
@@ -413,8 +457,10 @@ fn execute_block<P: NodeProgram>(
     halted: &mut [bool],
     outputs: &mut [Option<P::Output>],
     pending: &mut [Vec<OutMsg<P::Message>>],
-) {
+    invalid: &mut [Option<NodeId>],
+) -> usize {
     let graph = view.graph;
+    let mut newly_halted = 0usize;
     for i in 0..programs.len() {
         if halted[i] {
             continue;
@@ -427,16 +473,19 @@ fn execute_block<P: NodeProgram>(
         };
         let inbox = Inbox::over(graph.neighbors(v), &view.cur[graph.slot_range(v)]);
         pending[i].clear();
-        let mut outbox = Outbox::over(graph.neighbors(v), &mut pending[i]);
+        invalid[i] = None;
+        let mut outbox = Outbox::over(graph.neighbors(v), &mut pending[i], &mut invalid[i]);
         match programs[i].round(&ctx, &inbox, &mut outbox) {
             RoundAction::Continue => {}
             RoundAction::Halt(out) => {
                 outputs[i] = Some(out);
                 halted[i] = true;
+                newly_halted += 1;
                 pending[i].clear();
             }
         }
     }
+    newly_halted
 }
 
 fn run_engine<P>(
@@ -465,8 +514,10 @@ where
     let mut store: MessageStore<P::Message> = MessageStore::new(graph);
     let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
     let mut halted = vec![false; n];
+    let mut halted_count = 0usize;
     let mut pending: Vec<Vec<OutMsg<P::Message>>> =
         std::iter::repeat_with(Vec::new).take(n).collect();
+    let mut invalid: Vec<Option<NodeId>> = vec![None; n];
     let mut acct = Accounting::default();
     let mut round_stats = Vec::new();
 
@@ -477,13 +528,14 @@ where
             graph,
             round: 0,
         };
-        let mut outbox = Outbox::over(graph.neighbors(NodeId(v)), &mut pending[v]);
+        let mut outbox = Outbox::over(graph.neighbors(NodeId(v)), &mut pending[v], &mut invalid[v]);
         program.init(&ctx, &mut outbox);
     }
     let (messages, bits) = commit_round(
         graph,
         &mut store,
         &mut pending,
+        &invalid,
         &mut acct,
         bandwidth,
         config.enforce_bandwidth,
@@ -500,7 +552,7 @@ where
     let mut round = 0u64;
     loop {
         store.advance();
-        if halted.iter().all(|&h| h) {
+        if halted_count == n {
             break;
         }
         round += 1;
@@ -516,7 +568,7 @@ where
             round,
             cur: &store.cur,
         };
-        if threads == 1 || n <= 1 {
+        let newly_halted = if threads == 1 || n <= 1 {
             execute_block(
                 &view,
                 0,
@@ -524,7 +576,8 @@ where
                 &mut halted,
                 &mut outputs,
                 &mut pending,
-            );
+                &mut invalid,
+            )
         } else {
             let chunk = n.div_ceil(threads).max(1);
             let view = &view;
@@ -534,14 +587,22 @@ where
                     .zip(halted.chunks_mut(chunk))
                     .zip(outputs.chunks_mut(chunk))
                     .zip(pending.chunks_mut(chunk))
+                    .zip(invalid.chunks_mut(chunk))
                     .enumerate();
-                for (b, (((progs, halts), outs), pends)) in blocks {
-                    s.spawn(move || {
-                        execute_block(view, b * chunk, progs, halts, outs, pends);
-                    });
-                }
-            });
-        }
+                let handles: Vec<_> = blocks
+                    .map(|(b, ((((progs, halts), outs), pends), invs))| {
+                        s.spawn(move || {
+                            execute_block(view, b * chunk, progs, halts, outs, pends, invs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .sum::<usize>()
+            })
+        };
+        halted_count += newly_halted;
 
         // Commit phase: merge all outboxes in node order (single thread), so
         // charging order and first-error behavior match sequential execution.
@@ -549,6 +610,7 @@ where
             graph,
             &mut store,
             &mut pending,
+            &invalid,
             &mut acct,
             bandwidth,
             config.enforce_bandwidth,
@@ -558,7 +620,7 @@ where
                 round,
                 messages,
                 bits,
-                halted: halted.iter().filter(|&&h| h).count(),
+                halted: halted_count,
             });
         }
     }

@@ -91,30 +91,39 @@ impl<'a, M> Inbox<'a, M> {
         self.slots[idx].as_ref()
     }
 
-    /// Number of messages received this round (`O(deg)`).
+    /// Number of messages received this round (`O(deg)`, branchless: a
+    /// straight sum over occupancy bits instead of a predicated count, so the
+    /// scan vectorizes and never mispredicts on mixed inboxes).
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|m| m.is_some()).count()
+        self.slots.iter().map(|m| usize::from(m.is_some())).sum()
     }
 
     /// Whether no messages were received this round.
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|m| m.is_none())
+        self.len() == 0
     }
 }
 
-/// A queued outgoing message: the target, its position in the sender's CSR
+/// A queued outgoing message: the target's position in the sender's CSR
 /// neighbor list (resolved at send time; [`INVALID_SLOT`] if the target is
 /// not a neighbor) and the payload.
+///
+/// Deliberately compact — the commit loop streams millions of these per
+/// round at scale. The slot is a `u32` (a degree beyond `u32::MAX - 1` is
+/// unrepresentable in a single node's CSR range long before memory runs out)
+/// and the target id is *not* stored: a valid slot already identifies the
+/// receiver, and the one case that needs the raw target — reporting a send
+/// to a non-neighbor — parks it in the outbox's invalid-target scratch
+/// instead of widening every message by 8 bytes.
 #[derive(Debug, Clone)]
 pub(crate) struct OutMsg<M> {
-    pub(crate) to: NodeId,
-    pub(crate) slot: usize,
+    pub(crate) slot: u32,
     pub(crate) msg: M,
 }
 
 /// Sentinel slot for a send to a non-neighbor; the engine turns it into
 /// [`crate::engine::ExecutionError::NotANeighbor`] when the round commits.
-pub(crate) const INVALID_SLOT: usize = usize::MAX;
+pub(crate) const INVALID_SLOT: u32 = u32::MAX;
 
 /// Staging area for the messages a node sends at the end of a round.
 ///
@@ -129,23 +138,41 @@ pub(crate) const INVALID_SLOT: usize = usize::MAX;
 pub struct Outbox<'a, M> {
     neighbors: &'a [NodeId],
     buf: &'a mut Vec<OutMsg<M>>,
+    /// First non-neighbor target this node addressed this round, if any —
+    /// the engine resolves the [`INVALID_SLOT`] it finds first (which is the
+    /// send recorded here) into a
+    /// [`crate::engine::ExecutionError::NotANeighbor`] carrying this target.
+    invalid_to: &'a mut Option<NodeId>,
 }
 
 impl<'a, M> Outbox<'a, M> {
-    /// Wraps a reusable buffer for the node whose neighbor list is given.
-    pub(crate) fn over(neighbors: &'a [NodeId], buf: &'a mut Vec<OutMsg<M>>) -> Self {
-        Outbox { neighbors, buf }
+    /// Wraps a reusable buffer (and invalid-target scratch) for the node
+    /// whose neighbor list is given.
+    pub(crate) fn over(
+        neighbors: &'a [NodeId],
+        buf: &'a mut Vec<OutMsg<M>>,
+        invalid_to: &'a mut Option<NodeId>,
+    ) -> Self {
+        Outbox {
+            neighbors,
+            buf,
+            invalid_to,
+        }
     }
 
     /// Queues a message to `to`. The engine reports an error for a `to` that
     /// is not a neighbor when the round is committed.
     pub fn send(&mut self, to: NodeId, message: M) {
-        let slot = self.neighbors.binary_search(&to).unwrap_or(INVALID_SLOT);
-        self.buf.push(OutMsg {
-            to,
-            slot,
-            msg: message,
-        });
+        let slot = match self.neighbors.binary_search(&to) {
+            Ok(i) => i as u32,
+            Err(_) => {
+                if self.invalid_to.is_none() {
+                    *self.invalid_to = Some(to);
+                }
+                INVALID_SLOT
+            }
+        };
+        self.buf.push(OutMsg { slot, msg: message });
     }
 
     /// Queues a copy of `message` to every neighbor.
@@ -153,10 +180,9 @@ impl<'a, M> Outbox<'a, M> {
     where
         M: Clone,
     {
-        for (slot, &u) in self.neighbors.iter().enumerate() {
+        for slot in 0..self.neighbors.len() {
             self.buf.push(OutMsg {
-                to: u,
-                slot,
+                slot: slot as u32,
                 msg: message.clone(),
             });
         }
@@ -234,20 +260,33 @@ mod tests {
     fn outbox_broadcast_reaches_every_neighbor() {
         let neighbors = [NodeId(2), NodeId(5)];
         let mut buf = Vec::new();
-        let mut outbox = Outbox::over(&neighbors, &mut buf);
+        let mut invalid = None;
+        let mut outbox = Outbox::over(&neighbors, &mut buf, &mut invalid);
         outbox.broadcast(9u8);
         outbox.send(NodeId(2), 4u8);
         outbox.send(NodeId(3), 6u8);
         assert_eq!(outbox.queued(), 4);
-        let queued: Vec<_> = buf.iter().map(|m| (m.to, m.slot, m.msg)).collect();
-        assert_eq!(
-            queued,
-            vec![
-                (NodeId(2), 0, 9),
-                (NodeId(5), 1, 9),
-                (NodeId(2), 0, 4),
-                (NodeId(3), INVALID_SLOT, 6),
-            ]
-        );
+        let queued: Vec<_> = buf.iter().map(|m| (m.slot, m.msg)).collect();
+        assert_eq!(queued, vec![(0, 9), (1, 9), (0, 4), (INVALID_SLOT, 6)]);
+        assert_eq!(invalid, Some(NodeId(3)), "first bad target recorded");
+    }
+
+    #[test]
+    fn outbox_records_the_first_invalid_target_only() {
+        let neighbors = [NodeId(1)];
+        let mut buf = Vec::new();
+        let mut invalid = None;
+        let mut outbox = Outbox::over(&neighbors, &mut buf, &mut invalid);
+        outbox.send(NodeId(9), 1u8);
+        outbox.send(NodeId(4), 2u8);
+        assert_eq!(invalid, Some(NodeId(9)));
+    }
+
+    #[test]
+    fn outmsg_is_compact() {
+        // The commit loop streams these; the `to` field was deliberately
+        // dropped and the slot narrowed so small payloads stay small.
+        assert_eq!(std::mem::size_of::<OutMsg<f64>>(), 16);
+        assert!(std::mem::size_of::<OutMsg<u32>>() <= 8);
     }
 }

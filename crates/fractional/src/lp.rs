@@ -437,13 +437,15 @@ impl NodeProgram for DistributedLpProgram {
                 outbox.broadcast(self.w);
                 RoundAction::Continue
             }
-            // Weights arrive: derive the server score.
+            // Weights arrive: derive the server score. The fill of the
+            // per-neighbor weight cache and the score sum share one pass over
+            // the inbox slots; slot order equals the old cache-then-sum order,
+            // so the floating-point accumulation is bit-identical.
             1 => {
-                for (idx, (_, msg)) in inbox.iter_slots().enumerate() {
-                    self.neighbor_w[idx] = msg.copied().unwrap_or(0.0);
-                }
                 self.s = self.w;
-                for &w in &self.neighbor_w {
+                for (idx, (_, msg)) in inbox.iter_slots().enumerate() {
+                    let w = msg.copied().unwrap_or(0.0);
+                    self.neighbor_w[idx] = w;
                     self.s += w;
                 }
                 outbox.broadcast(self.s);

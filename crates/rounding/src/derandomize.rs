@@ -37,11 +37,17 @@
 //!   Theorem 1.2 route the steps are distance-two color classes (whole
 //!   classes decide in parallel); under the Theorem 1.1 route the steps
 //!   serialize each cluster's members, cluster by cluster in color order.
-//!   Both paths evaluate [`crate::estimator::member_violation_probability`]
-//!   over the same member order, so the engine output is bit-identical to the
+//!   Both paths evaluate the same estimator kernel over the same member
+//!   order — the oracle through the scalar
+//!   [`crate::estimator::member_violation_probability`], the engine through
+//!   the batched [`crate::estimator::member_violation_branches`] (both
+//!   branches of a decision in one member pass over reusable
+//!   [`EstimatorScratch`]) — so the engine output is bit-identical to the
 //!   central oracle (proptest-enforced in `tests/properties.rs`).
 
-use crate::estimator::{member_violation_probability, CoinState, Estimator, EstimatorKind};
+use crate::estimator::{
+    member_violation_branches, CoinState, Estimator, EstimatorKind, EstimatorScratch,
+};
 use crate::problem::{RoundingProblem, ValueNode};
 use crate::process::{execute_with_coins, RoundedOutcome};
 use congest_sim::ledger::formulas;
@@ -274,20 +280,23 @@ struct OwnedConstraint {
 }
 
 impl OwnedConstraint {
-    /// The two estimator branches for the member at `target_id`, evaluated in
-    /// member-list order — the same kernel and order as the central oracle.
-    fn branches(&self, kind: EstimatorKind, target_id: usize) -> (f64, f64) {
-        let branch = |forced: CoinState| {
-            member_violation_probability(
-                kind,
-                self.members.iter().map(|m| {
-                    let coin = if m.id == target_id { forced } else { m.coin };
-                    (&m.value, coin)
-                }),
-                self.c,
-            )
-        };
-        (branch(CoinState::Take), branch(CoinState::Zero))
+    /// The two estimator branches for the member at position `target`,
+    /// evaluated in member-list order through the batched kernel — one member
+    /// pass for both branches, scratch reused across calls, bit-identical to
+    /// the central oracle's scalar evaluation.
+    fn branches(
+        &self,
+        kind: EstimatorKind,
+        target: usize,
+        scratch: &mut EstimatorScratch,
+    ) -> (f64, f64) {
+        member_violation_branches(
+            kind,
+            self.members.iter().map(|m| (&m.value, m.coin)),
+            target,
+            self.c,
+            scratch,
+        )
     }
 
     fn violated(&self) -> bool {
@@ -345,49 +354,77 @@ pub struct ScheduledDerandProgram {
     my_step: Option<usize>,
     coin: CoinState,
     owned: Vec<OwnedConstraint>,
+    /// `(step, owned-constraint index, member index)` sorted by step: the
+    /// owner-side reply agenda. A reply round binary-searches its step range
+    /// instead of scanning every owned member, turning the owner's total
+    /// scheduling work from `O(members · steps)` into
+    /// `O(steps · log members + members)`.
+    agenda: Vec<(u32, u32, u32)>,
+    /// `(member id, owned-constraint index, member index)` sorted by id, for
+    /// coin recording and own-branch lookup by binary search.
+    member_slots: Vec<(u32, u32, u32)>,
+    /// Reusable estimator scratch shared by every branch evaluation this
+    /// owner performs — the "per-step scratch" of the batched kernel.
+    scratch: EstimatorScratch,
 }
 
 impl ScheduledDerandProgram {
     /// Queues the reply messages for the deciders of `step`; the executing
     /// node's own decisions are evaluated locally at decision time instead.
     fn send_replies(
-        &self,
+        &mut self,
         ctx: &NodeContext<'_>,
         outbox: &mut Outbox<'_, DerandMessage>,
         step: usize,
     ) {
-        for constraint in &self.owned {
-            for member in &constraint.members {
-                if member.step == Some(step) && member.id != ctx.id.0 {
-                    let (take, zero) = constraint.branches(self.estimator, member.id);
-                    outbox.send(NodeId(member.id), DerandMessage::Reply { take, zero });
-                }
+        let lo = self
+            .agenda
+            .partition_point(|&(s, _, _)| (s as usize) < step);
+        let hi = self
+            .agenda
+            .partition_point(|&(s, _, _)| (s as usize) <= step);
+        for idx in lo..hi {
+            let (_, ci, mi) = self.agenda[idx];
+            let constraint = &self.owned[ci as usize];
+            let member = &constraint.members[mi as usize];
+            if member.id != ctx.id.0 {
+                let (take, zero) =
+                    constraint.branches(self.estimator, mi as usize, &mut self.scratch);
+                outbox.send(NodeId(member.id), DerandMessage::Reply { take, zero });
             }
         }
     }
 
     /// The summed estimator branches of the executing node's own constraints
     /// that contain the node itself, in owned order.
-    fn own_branches(&self, my_id: usize) -> (f64, f64) {
+    fn own_branches(&mut self, my_id: usize) -> (f64, f64) {
         let mut take = 0.0f64;
         let mut zero = 0.0f64;
-        for constraint in &self.owned {
-            if constraint.members.iter().any(|m| m.id == my_id) {
-                let (t, z) = constraint.branches(self.estimator, my_id);
-                take += t;
-                zero += z;
+        let lo = self
+            .member_slots
+            .partition_point(|&(id, _, _)| (id as usize) < my_id);
+        for &(id, ci, mi) in &self.member_slots[lo..] {
+            if id as usize != my_id {
+                break;
             }
+            let (t, z) =
+                self.owned[ci as usize].branches(self.estimator, mi as usize, &mut self.scratch);
+            take += t;
+            zero += z;
         }
         (take, zero)
     }
 
     fn record_coin(&mut self, id: usize, coin: CoinState) {
-        for constraint in self.owned.iter_mut() {
-            for member in constraint.members.iter_mut() {
-                if member.id == id {
-                    member.coin = coin;
-                }
+        let lo = self
+            .member_slots
+            .partition_point(|&(slot_id, _, _)| (slot_id as usize) < id);
+        for idx in lo..self.member_slots.len() {
+            let (slot_id, ci, mi) = self.member_slots[idx];
+            if slot_id as usize != id {
+                break;
             }
+            self.owned[ci as usize].members[mi as usize].coin = coin;
         }
     }
 
@@ -512,6 +549,13 @@ pub fn scheduled_derand_programs(
             problem.n_original
         ));
     }
+    if n >= u32::MAX as usize || schedule.steps.len() >= u32::MAX as usize {
+        // The owner-side agenda and member index compact ids/steps to u32.
+        return Err(format!(
+            "problem too large for the compact schedule index: {n} nodes, {} steps",
+            schedule.steps.len()
+        ));
+    }
     for (i, v) in problem.values.iter().enumerate() {
         if v.original != i {
             return Err(format!(
@@ -600,17 +644,37 @@ pub fn scheduled_derand_programs(
     Ok(owned
         .into_iter()
         .enumerate()
-        .map(|(i, owned)| ScheduledDerandProgram {
-            estimator,
-            num_steps,
-            value: problem.values[i].clone(),
-            my_step: step_of[i],
-            coin: if problem.values[i].participates() {
-                CoinState::Undecided
-            } else {
-                CoinState::Zero
-            },
-            owned,
+        .map(|(i, owned)| {
+            // Owner-side indexes: both are pushed in (constraint, member)
+            // order and stable-sorted, so ties preserve the scan order of the
+            // unindexed implementation — the estimator sums stay bit-identical.
+            let mut agenda: Vec<(u32, u32, u32)> = Vec::new();
+            let mut member_slots: Vec<(u32, u32, u32)> = Vec::new();
+            for (ci, oc) in owned.iter().enumerate() {
+                for (mi, m) in oc.members.iter().enumerate() {
+                    member_slots.push((m.id as u32, ci as u32, mi as u32));
+                    if let Some(s) = m.step {
+                        agenda.push((s as u32, ci as u32, mi as u32));
+                    }
+                }
+            }
+            agenda.sort_by_key(|&(s, _, _)| s);
+            member_slots.sort_by_key(|&(id, _, _)| id);
+            ScheduledDerandProgram {
+                estimator,
+                num_steps,
+                value: problem.values[i].clone(),
+                my_step: step_of[i],
+                coin: if problem.values[i].participates() {
+                    CoinState::Undecided
+                } else {
+                    CoinState::Zero
+                },
+                owned,
+                agenda,
+                member_slots,
+                scratch: EstimatorScratch::default(),
+            }
         })
         .collect())
 }

@@ -177,6 +177,172 @@ pub fn member_violation_probability<'v>(
     }
 }
 
+/// Reusable scratch for [`member_violation_branches`]: the undecided-member
+/// list shared by both branches plus the two ping-pong DP rows.
+///
+/// One instance per constraint owner amortizes every per-call allocation of
+/// the scalar kernel across an entire derandomization schedule; steady-state
+/// evaluation allocates nothing once the buffers have reached the owner's
+/// maximum constraint degree / DP resolution.
+#[derive(Debug, Clone, Default)]
+pub struct EstimatorScratch {
+    /// `(p, raised)` for the undecided members, in member-list order.
+    undecided: Vec<(f64, f64)>,
+    /// Current DP row (`dp[j]` = probability the discretized sum is `j`).
+    dp: Vec<f64>,
+    /// Next DP row, swapped with `dp` after each member.
+    next: Vec<f64>,
+}
+
+/// Both conditional-expectation branches of one constraint in a single member
+/// pass: the violation-probability bound with the `target`-th member's coin
+/// forced to [`CoinState::Take`] and to [`CoinState::Zero`].
+///
+/// `target` is the position (in iteration order) of the member whose coin is
+/// being decided; its stored coin state is ignored, exactly as the scalar
+/// kernel ignores it when a forced state is substituted.
+///
+/// This is the batched kernel of the owner-reply round
+/// ([`crate::derandomize::ScheduledDerandProgram`]): where the scalar path
+/// walks the member list twice (once per forced state) and allocates a fresh
+/// undecided list — plus one DP row per member — per walk, this walks it
+/// once, shares the undecided list between the two branches and reuses the
+/// caller's [`EstimatorScratch`] across calls.
+///
+/// # Bit-identity
+///
+/// The result is guaranteed bit-identical to two calls of
+/// [`member_violation_probability`] (property-tested): each branch's base
+/// accumulator performs the same float additions in the same member order as
+/// the scalar fold, the shared undecided list is what either scalar walk
+/// would collect (a forced member is never undecided), and the scratch DP
+/// applies the same update sequence as the allocating DP — skipped
+/// zero-probability cells contribute exact `+0.0` terms in the scalar sum, so
+/// eliding them preserves every bit.
+pub fn member_violation_branches<'v>(
+    kind: EstimatorKind,
+    members: impl Iterator<Item = (&'v ValueNode, CoinState)>,
+    target: usize,
+    c: f64,
+    scratch: &mut EstimatorScratch,
+) -> (f64, f64) {
+    scratch.undecided.clear();
+    let mut base_take = 0.0f64;
+    let mut base_zero = 0.0f64;
+    for (idx, (v, coin)) in members.enumerate() {
+        if !v.participates() {
+            if v.p >= 1.0 {
+                base_take += v.x;
+                base_zero += v.x;
+            }
+            continue;
+        }
+        if idx == target {
+            // Forced Take contributes the raised value; forced Zero nothing.
+            base_take += v.raised_value();
+            continue;
+        }
+        match coin {
+            CoinState::Take => {
+                let raised = v.raised_value();
+                base_take += raised;
+                base_zero += raised;
+            }
+            CoinState::Zero => {}
+            CoinState::Undecided => scratch.undecided.push((v.p, v.raised_value())),
+        }
+    }
+    let EstimatorScratch {
+        ref undecided,
+        ref mut dp,
+        ref mut next,
+    } = *scratch;
+    (
+        branch_tail(kind, undecided, c - base_take, dp, next),
+        branch_tail(kind, undecided, c - base_zero, dp, next),
+    )
+}
+
+/// The tail of the kernel after the member fold: residual-need checks and the
+/// estimator dispatch, with the DP running on caller scratch.
+fn branch_tail(
+    kind: EstimatorKind,
+    undecided: &[(f64, f64)],
+    need: f64,
+    dp: &mut Vec<f64>,
+    next: &mut Vec<f64>,
+) -> f64 {
+    if need <= NEED_TOLERANCE {
+        return 0.0;
+    }
+    if undecided.is_empty() {
+        return 1.0;
+    }
+    match kind {
+        EstimatorKind::ExactProduct => product_bound(undecided, need),
+        EstimatorKind::ExactDp { resolution } => {
+            dp_bound_scratch(undecided, need, resolution, dp, next)
+        }
+        EstimatorKind::Chernoff => chernoff_bound(undecided, need),
+        EstimatorKind::Auto { resolution } => {
+            if undecided
+                .iter()
+                .all(|&(_, raised)| raised + NEED_TOLERANCE >= need)
+            {
+                product_bound(undecided, need)
+            } else {
+                dp_bound_scratch(undecided, need, resolution, dp, next)
+            }
+        }
+    }
+}
+
+/// [`dp_bound`] on reusable ping-pong rows: no allocation once the rows have
+/// reached `resolution + 1` capacity, and each member's update only walks the
+/// currently reachable prefix of the grid.
+///
+/// Bit-identical to [`dp_bound`]: the allocating version visits cells in the
+/// same ascending order and skips zero masses, and all reachable mass lives
+/// in `[0, hi]`, so restricting the walk changes no float operation.
+fn dp_bound_scratch(
+    undecided: &[(f64, f64)],
+    need: f64,
+    resolution: usize,
+    dp: &mut Vec<f64>,
+    next: &mut Vec<f64>,
+) -> f64 {
+    let r = resolution.max(2);
+    let width = need / r as f64;
+    dp.clear();
+    dp.resize(r + 1, 0.0);
+    next.clear();
+    next.resize(r + 1, 0.0);
+    dp[0] = 1.0;
+    // Highest grid index any mass can have reached so far.
+    let mut hi = 0usize;
+    for &(p, raised) in undecided {
+        let bump = ((raised / width).floor() as usize).min(r);
+        let reach = (hi + bump).min(r);
+        for slot in next[..=reach].iter_mut() {
+            *slot = 0.0;
+        }
+        for j in 0..=hi {
+            let mass = dp[j];
+            if mass == 0.0 {
+                continue;
+            }
+            // Coin fails.
+            next[j] += mass * (1.0 - p);
+            // Coin succeeds.
+            let target = (j + bump).min(r);
+            next[target] += mass * p;
+        }
+        std::mem::swap(dp, next);
+        hi = reach;
+    }
+    dp[..r].iter().sum::<f64>().min(1.0)
+}
+
 /// `Π (1 - p_i)` over undecided members that can satisfy the residual need on
 /// their own. Exact when every undecided member can; an upper bound otherwise.
 fn product_bound(undecided: &[(f64, f64)], need: f64) -> f64 {
@@ -366,6 +532,117 @@ mod tests {
                 best <= before + 1e-9,
                 "{kind:?}: best branch {best} exceeds undecided estimate {before}"
             );
+        }
+    }
+
+    /// Scalar reference for one branch: force `target`'s coin and call the
+    /// retained scalar kernel.
+    fn scalar_branch(
+        kind: EstimatorKind,
+        members: &[(ValueNode, CoinState)],
+        target: usize,
+        forced: CoinState,
+        c: f64,
+    ) -> f64 {
+        member_violation_probability(
+            kind,
+            members.iter().enumerate().map(|(i, (v, coin))| {
+                let coin = if i == target { forced } else { *coin };
+                (v, coin)
+            }),
+            c,
+        )
+    }
+
+    fn all_kinds() -> [EstimatorKind; 5] {
+        [
+            EstimatorKind::ExactProduct,
+            EstimatorKind::ExactDp { resolution: 64 },
+            EstimatorKind::ExactDp { resolution: 513 },
+            EstimatorKind::Chernoff,
+            EstimatorKind::Auto { resolution: 128 },
+        ]
+    }
+
+    #[test]
+    fn batched_branches_are_bit_identical_to_the_scalar_kernel() {
+        let value = |x: f64, p: f64| ValueNode { original: 0, x, p };
+        // Mixed bag: deterministic p=1 members, non-participating p=0, fixed
+        // coins on both sides, heterogeneous raised values.
+        let members = vec![
+            (value(0.3, 1.0), CoinState::Undecided),
+            (value(0.2, 0.5), CoinState::Undecided),
+            (value(0.1, 0.25), CoinState::Take),
+            (value(0.0, 0.0), CoinState::Undecided),
+            (value(0.05, 0.9), CoinState::Zero),
+            (value(0.4, 0.6), CoinState::Undecided),
+            (value(0.15, 0.3), CoinState::Undecided),
+        ];
+        let mut scratch = EstimatorScratch::default();
+        for kind in all_kinds() {
+            for c in [0.2, 0.6, 0.95, 1.0] {
+                for target in 0..members.len() {
+                    let (take, zero) = member_violation_branches(
+                        kind,
+                        members.iter().map(|(v, coin)| (v, *coin)),
+                        target,
+                        c,
+                        &mut scratch,
+                    );
+                    let want_take = scalar_branch(kind, &members, target, CoinState::Take, c);
+                    let want_zero = scalar_branch(kind, &members, target, CoinState::Zero, c);
+                    assert_eq!(
+                        take.to_bits(),
+                        want_take.to_bits(),
+                        "{kind:?} c={c} target={target} take: {take} vs {want_take}"
+                    );
+                    assert_eq!(
+                        zero.to_bits(),
+                        want_zero.to_bits(),
+                        "{kind:?} c={c} target={target} zero: {zero} vs {want_zero}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_handles_degenerate_member_lists() {
+        let mut scratch = EstimatorScratch::default();
+        // No members at all: need > 0 and nothing undecided → certain violation
+        // in both branches, matching the scalar kernel.
+        let empty: Vec<(ValueNode, CoinState)> = Vec::new();
+        for kind in all_kinds() {
+            let (take, zero) = member_violation_branches(
+                kind,
+                empty.iter().map(|(v, coin)| (v, *coin)),
+                0,
+                0.5,
+                &mut scratch,
+            );
+            assert_eq!(take, 1.0);
+            assert_eq!(zero, 1.0);
+            // Target index past the end: both branches degenerate to the plain
+            // estimate, exactly like a scalar call whose forced id never matches.
+            let members = [(
+                ValueNode {
+                    original: 0,
+                    x: 0.4,
+                    p: 0.5,
+                },
+                CoinState::Undecided,
+            )];
+            let (take, zero) = member_violation_branches(
+                kind,
+                members.iter().map(|(v, coin)| (v, *coin)),
+                7,
+                0.3,
+                &mut scratch,
+            );
+            let plain =
+                member_violation_probability(kind, members.iter().map(|(v, coin)| (v, *coin)), 0.3);
+            assert_eq!(take.to_bits(), plain.to_bits());
+            assert_eq!(zero.to_bits(), plain.to_bits());
         }
     }
 

@@ -1,0 +1,118 @@
+//! Large-`n` smoke tests: the full measured pipeline at scales the ordinary
+//! proptests never reach (`10⁴`–`10⁵` nodes).
+//!
+//! All tests are `#[ignore]`d — they take seconds to minutes in release mode
+//! and are not part of the tier-1 suite. The CI `perf-trend` job runs them
+//! explicitly on the multicore runner:
+//!
+//! ```console
+//! $ PARALLEL_THREADS=4 cargo test --release --test large_n_smoke -- --ignored
+//! ```
+//!
+//! What they pin down, beyond the small-graph proptests:
+//!
+//! * the engine run stays **bit-identical to the central oracle** when the
+//!   message arena holds hundreds of millions of slots and the parallel
+//!   executor actually splits nodes across blocks;
+//! * every measured phase stays **at or below its paper charge** at scale;
+//! * the adaptive chunking of [`ParallelExecutor::auto`] commits in node
+//!   order regardless of thread count.
+
+use congest_mds::congest::{ParallelExecutor, PhaseMode};
+use congest_mds::graphs::generators;
+use congest_mds::mds::pipeline::{self, DerandRoute, MdsConfig};
+use congest_mds::mds::verify;
+
+fn forced_threads(fallback: usize) -> usize {
+    std::env::var("PARALLEL_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(fallback)
+        .max(1)
+}
+
+/// Shared assertion block: engine (sync + parallel) vs central oracle,
+/// feasibility, and the measured-rounds-versus-charges gate.
+fn assert_engine_matches_oracle_at_scale(
+    graph: &congest_mds::congest::Graph,
+    config: &MdsConfig,
+    label: &str,
+) {
+    let oracle = pipeline::central_oracle(graph, config);
+    let sync = pipeline::run(graph, config);
+    let par = pipeline::run_on(graph, config, &ParallelExecutor::new(forced_threads(4)));
+
+    assert!(
+        verify::is_dominating_set(graph, &sync.dominating_set),
+        "{label}: engine output is not dominating"
+    );
+    assert_eq!(
+        sync.dominating_set, oracle.dominating_set,
+        "{label}: sync engine diverged from the central oracle"
+    );
+    assert_eq!(
+        sync.assignment, oracle.assignment,
+        "{label}: sync engine assignment diverged"
+    );
+    assert_eq!(
+        par.dominating_set, oracle.dominating_set,
+        "{label}: parallel engine diverged from the central oracle"
+    );
+    assert_eq!(
+        par.ledger, sync.ledger,
+        "{label}: parallel ledger diverged from sync"
+    );
+    assert!(
+        sync.measured_engine_rounds() > 0,
+        "{label}: nothing was measured on the engine"
+    );
+    assert!(
+        sync.measured_engine_rounds() <= sync.ledger.total_formula_rounds(),
+        "{label}: measured rounds {} exceed the summed paper charges {}",
+        sync.measured_engine_rounds(),
+        sync.ledger.total_formula_rounds()
+    );
+    for phase in sync.phases.iter().filter(|p| p.mode == PhaseMode::Measured) {
+        assert!(
+            phase.rounds > 0 || phase.messages == 0,
+            "{label}: measured phase {:?} spent messages in zero rounds",
+            phase.name
+        );
+    }
+}
+
+#[test]
+#[ignore = "large-n smoke: run explicitly with --ignored (seconds-to-minutes in release)"]
+fn full_pipeline_at_ten_thousand_nodes_on_a_ring() {
+    let graph = generators::cycle(10_000);
+    let config = MdsConfig {
+        route: DerandRoute::Coloring,
+        ..MdsConfig::default()
+    };
+    assert_engine_matches_oracle_at_scale(&graph, &config, "ring n=10^4");
+}
+
+#[test]
+#[ignore = "large-n smoke: run explicitly with --ignored (seconds-to-minutes in release)"]
+fn full_pipeline_at_ten_thousand_nodes_on_gnp() {
+    let graph = generators::gnp(10_000, 8.0 / 10_000.0, 3);
+    let config = MdsConfig {
+        route: DerandRoute::Coloring,
+        ..MdsConfig::default()
+    };
+    assert_engine_matches_oracle_at_scale(&graph, &config, "gnp n=10^4");
+}
+
+#[test]
+#[ignore = "large-n smoke: run explicitly with --ignored (seconds-to-minutes in release)"]
+fn theorem_1_2_at_one_hundred_thousand_nodes_matches_the_oracle() {
+    // The same instance the benchmark sweep and `BENCH_baseline.json` use at
+    // this size, so a green run here certifies the baseline numbers were
+    // produced by an oracle-faithful pipeline.
+    let graph = generators::gnm(100_000, 400_000, 3);
+    let config = MdsConfig {
+        route: DerandRoute::Coloring,
+        ..MdsConfig::default()
+    };
+    assert_engine_matches_oracle_at_scale(&graph, &config, "gnm n=10^5");
+}

@@ -410,3 +410,85 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The batched owner-reply kernel returns, in one member pass, exactly
+    // what the scalar oracle kernel returns from two passes with the target
+    // member's coin forced each way — bit-for-bit, for every estimator kind,
+    // including targets past the end of the member list (where both branches
+    // degenerate to the plain estimate) and with dirty reused scratch.
+    #[test]
+    fn batched_estimator_kernel_is_bit_identical_to_the_scalar_kernel(
+        raw in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u8..4),
+            0..12,
+        ),
+        target in 0usize..14,
+        kind_sel in 0usize..5,
+        c in 0.0f64..3.0,
+    ) {
+        use congest_mds::rounding::estimator::{
+            member_violation_branches, member_violation_probability, CoinState, EstimatorScratch,
+        };
+        use congest_mds::rounding::ValueNode;
+
+        let members: Vec<(ValueNode, CoinState)> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, pf, tag))| {
+                // tag 3: non-participating (p = 1); otherwise p ∈ (x, 1).
+                let p = if tag == 3 {
+                    1.0
+                } else {
+                    (x + pf * (1.0 - x)).clamp(1e-6, 1.0 - 1e-9)
+                };
+                let coin = match tag {
+                    0 => CoinState::Undecided,
+                    1 => CoinState::Take,
+                    _ => CoinState::Zero,
+                };
+                (ValueNode { original: i, x, p }, coin)
+            })
+            .collect();
+        let kind = [
+            EstimatorKind::ExactProduct,
+            EstimatorKind::ExactDp { resolution: 64 },
+            EstimatorKind::Chernoff,
+            EstimatorKind::Auto { resolution: 8 },
+            EstimatorKind::Auto { resolution: 512 },
+        ][kind_sel];
+
+        let mut scratch = EstimatorScratch::default();
+        let batched = member_violation_branches(
+            kind,
+            members.iter().map(|(v, coin)| (v, *coin)),
+            target,
+            c,
+            &mut scratch,
+        );
+        let scalar = |state: CoinState| {
+            member_violation_probability(
+                kind,
+                members.iter().enumerate().map(|(i, (v, coin))| {
+                    (v, if i == target { state } else { *coin })
+                }),
+                c,
+            )
+        };
+        prop_assert_eq!(batched.0.to_bits(), scalar(CoinState::Take).to_bits());
+        prop_assert_eq!(batched.1.to_bits(), scalar(CoinState::Zero).to_bits());
+
+        // Reusing the (now dirty) scratch must not perturb a single bit.
+        let again = member_violation_branches(
+            kind,
+            members.iter().map(|(v, coin)| (v, *coin)),
+            target,
+            c,
+            &mut scratch,
+        );
+        prop_assert_eq!(batched.0.to_bits(), again.0.to_bits());
+        prop_assert_eq!(batched.1.to_bits(), again.1.to_bits());
+    }
+}
