@@ -3,13 +3,16 @@
 //! commit, inbox construction) rather than by per-node compute.
 //!
 //! `experiments --executor-sweep` drives this up to `n = 10⁶` on the sparse
-//! families and prints a sequential-vs-parallel wall-time table; the run also
-//! doubles as a scale test of the bit-identity contract, since the sequential
-//! and parallel reports are asserted equal at every size.
+//! families and prints a wall-time table over all executors: sequential,
+//! per-round-scoped parallel, and the persistent worker pool at one and at
+//! `T` threads — the pool-vs-scoped and pool-`T`-vs-pool-1 speedup columns
+//! are the headline numbers of the pooled executor. The run also doubles as
+//! a scale test of the bit-identity contract, since every report is asserted
+//! equal to the sequential one at every size.
 
 use congest_sim::{
     Executor, ExecutorConfig, Inbox, NodeContext, NodeProgram, Outbox, ParallelExecutor,
-    RoundAction, SyncExecutor,
+    PooledExecutor, RoundAction, SyncExecutor,
 };
 use mds_graphs::generators;
 
@@ -59,29 +62,53 @@ impl NodeProgram for FloodMin {
     }
 }
 
+/// The thread count the multi-threaded sweep columns use: the
+/// `PARALLEL_THREADS` environment variable when set (CI pins it for
+/// reproducible tables), the detected core count otherwise.
+fn sweep_threads() -> usize {
+    std::env::var("PARALLEL_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| ParallelExecutor::auto().threads())
+        .max(1)
+}
+
 /// Runs the flood program on cycles and sparse `G(n, 2n)` instances at decade
-/// sizes up to `max_n`, on both executors, and returns a Markdown table of
-/// wall times and parallel speedups.
+/// sizes up to `max_n` (a single miniature size when `max_n` is below the
+/// first decade, so tests still exercise the cross-executor assertion), on
+/// all four executor configurations — sequential, per-round-scoped parallel
+/// at `T` threads, and the persistent pool at 1 and `T` threads — and
+/// returns a Markdown table of wall times and speedups. `T` follows
+/// `PARALLEL_THREADS` (else the core count).
 ///
 /// # Panics
 ///
-/// Panics if the sequential and parallel runs ever diverge — the sweep is
-/// also a large-`n` regression test of the engine's determinism contract.
+/// Panics if any executor's report diverges from the sequential one — the
+/// sweep is also a large-`n` regression test of the engine's determinism
+/// contract.
 pub fn executor_sweep_markdown(max_n: usize) -> String {
-    let parallel = ParallelExecutor::auto();
+    let threads = sweep_threads();
+    let scoped = ParallelExecutor::new(threads);
+    let pool1 = PooledExecutor::new(1);
+    let pool_t = PooledExecutor::new(threads);
     let mut out = format!(
-        "## Executor sweep — flood program, {FLOOD_ROUNDS} rounds, parallel threads = {}\n\n",
-        parallel.threads()
+        "## Executor sweep — flood program, {FLOOD_ROUNDS} rounds, T = {threads} threads\n\n",
     );
-    out.push_str(
-        "| graph | n | m | messages | sync wall (ms) | parallel wall (ms) | speedup |\n\
-         | --- | --- | --- | --- | --- | --- | --- |\n",
-    );
+    out.push_str(&format!(
+        "| graph | n | m | messages | sync (ms) | scoped×{threads} (ms) | pool×1 (ms) \
+         | pool×{threads} (ms) | pool×{threads} vs pool×1 | pool vs scoped |\n\
+         | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n",
+    ));
     let mut n = 10_000usize;
     let mut sizes = Vec::new();
     while n <= max_n {
         sizes.push(n);
         n = n.saturating_mul(10);
+    }
+    if sizes.is_empty() {
+        // Miniature mode for tests: one small size keeps the bit-identity
+        // assertions live without the 10⁴-node warm-up cost.
+        sizes.push(512);
     }
     for &n in &sizes {
         for (label, g) in [
@@ -89,25 +116,51 @@ pub fn executor_sweep_markdown(max_n: usize) -> String {
             ("gnm_2n", generators::gnm(n, 2 * n, 3)),
         ] {
             let config = ExecutorConfig::default();
-            let started = std::time::Instant::now();
-            let seq = SyncExecutor
-                .run(&g, FloodMin::programs(n), &config)
-                .expect("flood program is well-formed");
-            let sync_ms = started.elapsed().as_secs_f64() * 1e3;
-            let started = std::time::Instant::now();
-            let par = parallel
-                .run(&g, FloodMin::programs(n), &config)
-                .expect("flood program is well-formed");
-            let par_ms = started.elapsed().as_secs_f64() * 1e3;
-            assert_eq!(
-                seq, par,
-                "sequential and parallel runs diverged at n = {n} on {label}"
-            );
+            // Warm the per-graph routing tables up front so every executor
+            // column measures the round loop, not the one-off setup.
+            g.warm_topology();
+            let time = |run: &dyn Fn() -> congest_sim::RunReport<u32>| {
+                let started = std::time::Instant::now();
+                let report = run();
+                (started.elapsed().as_secs_f64() * 1e3, report)
+            };
+            let (sync_ms, seq) = time(&|| {
+                SyncExecutor
+                    .run(&g, FloodMin::programs(n), &config)
+                    .expect("flood program is well-formed")
+            });
+            let (scoped_ms, scoped_report) = time(&|| {
+                scoped
+                    .run(&g, FloodMin::programs(n), &config)
+                    .expect("flood program is well-formed")
+            });
+            let (pool1_ms, pool1_report) = time(&|| {
+                pool1
+                    .run(&g, FloodMin::programs(n), &config)
+                    .expect("flood program is well-formed")
+            });
+            let (pool_t_ms, pool_t_report) = time(&|| {
+                pool_t
+                    .run(&g, FloodMin::programs(n), &config)
+                    .expect("flood program is well-formed")
+            });
+            for (name, report) in [
+                ("scoped", &scoped_report),
+                ("pool×1", &pool1_report),
+                ("pool×T", &pool_t_report),
+            ] {
+                assert_eq!(
+                    &seq, report,
+                    "{name} diverged from the sequential run at n = {n} on {label}"
+                );
+            }
             out.push_str(&format!(
-                "| {label} | {n} | {} | {} | {sync_ms:.1} | {par_ms:.1} | {:.2}× |\n",
+                "| {label} | {n} | {} | {} | {sync_ms:.1} | {scoped_ms:.1} | {pool1_ms:.1} \
+                 | {pool_t_ms:.1} | {:.2}× | {:.2}× |\n",
                 g.m(),
                 seq.messages,
-                sync_ms / par_ms.max(f64::EPSILON),
+                pool1_ms / pool_t_ms.max(f64::EPSILON),
+                scoped_ms / pool_t_ms.max(f64::EPSILON),
             ));
         }
     }
@@ -131,9 +184,11 @@ mod tests {
 
     #[test]
     fn sweep_table_renders_and_executors_agree() {
-        // A miniature sweep (the real one starts at 10⁴) still exercises the
-        // seq-vs-par assertion inside.
+        // A miniature sweep (the real one starts at 10⁴) runs one small size,
+        // exercising the four-way bit-identity assertion inside.
         let table = executor_sweep_markdown(0);
         assert!(table.contains("| graph |"));
+        assert!(table.contains("pool×1"));
+        assert!(table.contains("| 512 |"));
     }
 }

@@ -9,10 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use congest_sim::{Graph, PhaseMode, PhaseOutcome};
+use congest_sim::{Graph, PhaseMode, PhaseOutcome, PooledExecutor};
 use mds_cds::build::{connect_dominating_set, CdsConfig};
 use mds_cds::verify::is_connected_dominating_set;
-use mds_core::pipeline::{theorem_1_1, theorem_1_2, MdsConfig};
+use mds_core::pipeline::{theorem_1_1, theorem_1_2, theorem_1_2_on, MdsConfig, MdsResult};
 use mds_core::{exact, greedy, randomized, verify};
 use mds_decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
 use mds_fractional::lemma21::FractionalMethod;
@@ -523,7 +523,17 @@ pub fn run_experiment(id: &str) -> String {
 /// refuses to compare files with different versions, so bump this whenever a
 /// field is added, removed or changes meaning — and regenerate
 /// `BENCH_baseline.json` in the same commit.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added the `"executor"` field (`"sync"` for the historical rows,
+/// `"pooled4"` for the persistent-pool runs of the Theorem 1.2 route at
+/// [`POOLED_BENCH_MIN_N`] nodes and above) and made it part of the run
+/// identity the trend gate matches on.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
+
+/// Smallest `n` at which the benchmark additionally times the Theorem 1.2
+/// route on the 4-thread persistent-pool executor. Below this the run is
+/// dominated by setup and the pool column would only measure noise.
+pub const POOLED_BENCH_MIN_N: usize = 1000;
 
 /// Largest `n` the Theorem 1.1 (network-decomposition) route runs at in the
 /// benchmark sweep. Its derandomization serializes coin fixing through
@@ -574,6 +584,53 @@ fn phase_wall_ms(phases: &[PhaseOutcome], pred: impl Fn(&PhaseOutcome) -> bool) 
         + 0.0
 }
 
+/// One benchmark JSON run line for a completed pipeline result.
+fn bench_entry(
+    g: &Graph,
+    family_label: &str,
+    route: &str,
+    executor: &str,
+    r: &MdsResult,
+    wall_ms: f64,
+) -> String {
+    let mwu_ms = phase_wall_ms(&r.phases, |p| p.name.contains("part I"));
+    let coloring_ms = phase_wall_ms(&r.phases, |p| p.name.contains("Lemma 3.12"));
+    let derand_ms = phase_wall_ms(&r.phases, |p| {
+        !p.name.contains("part I") && !p.name.contains("Lemma 3.12")
+    });
+    let other_ms = (wall_ms - mwu_ms - coloring_ms - derand_ms).max(0.0);
+    format!(
+        concat!(
+            "    {{\"n\": {}, \"m\": {}, \"max_degree\": {}, \"graph\": \"{}\", ",
+            "\"route\": \"{}\", \"executor\": \"{}\", ",
+            "\"size\": {}, \"lp_lower_bound\": {:.3}, ",
+            "\"measured_engine_rounds\": {}, \"measured_coloring_rounds\": {}, ",
+            "\"simulated_rounds\": {}, ",
+            "\"formula_rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, ",
+            "\"wall_mwu_ms\": {:.3}, \"wall_coloring_ms\": {:.3}, ",
+            "\"wall_derand_ms\": {:.3}, \"wall_other_ms\": {:.3}}}"
+        ),
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        family_label,
+        route,
+        executor,
+        r.size(),
+        r.lp_lower_bound,
+        r.measured_engine_rounds(),
+        r.measured_coloring_rounds(),
+        r.ledger.total_simulated_rounds(),
+        r.ledger.total_formula_rounds(),
+        r.ledger.total_messages(),
+        wall_ms,
+        mwu_ms,
+        coloring_ms,
+        derand_ms,
+        other_ms,
+    )
+}
+
 /// Machine-readable pipeline benchmark: runs both theorem routes of the
 /// *composed* engine pipeline over a size sweep and reports, per run, the
 /// instance shape, the dominating-set size, measured vs paper-formula round
@@ -582,7 +639,11 @@ fn phase_wall_ms(phases: &[PhaseOutcome], pred: impl Fn(&PhaseOutcome) -> bool) 
 /// `BENCH_baseline.json` by the CI perf-trend job.
 ///
 /// Sizes above [`THEOREM_1_1_MAX_N`] skip the Theorem 1.1 route (see the
-/// constant's docs). The wall breakdown classifies measured phases by name:
+/// constant's docs); sizes at or above [`POOLED_BENCH_MIN_N`] additionally
+/// time the Theorem 1.2 route on the 4-thread persistent-pool executor
+/// (`"executor": "pooled4"`), asserting its rounds, messages and solution
+/// bit-identical to the sequential run so the extra row can only ever differ
+/// in wall time. The wall breakdown classifies measured phases by name:
 /// `mwu` (Part I LP), `coloring` (Lemma 3.12 distance-two coloring), `derand`
 /// (every other measured phase — the scheduled coin fixing), and `other` (the
 /// remainder: central bookkeeping, charged simulations, graph-local setup).
@@ -604,44 +665,30 @@ pub fn pipeline_benchmark_json(sizes: &[usize]) -> String {
             } else {
                 theorem_1_2(&g, &config)
             };
-            let wall = start.elapsed();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             assert!(verify::is_dominating_set(&g, &r.dominating_set));
-            let wall_ms = wall.as_secs_f64() * 1e3;
-            let mwu_ms = phase_wall_ms(&r.phases, |p| p.name.contains("part I"));
-            let coloring_ms = phase_wall_ms(&r.phases, |p| p.name.contains("Lemma 3.12"));
-            let derand_ms = phase_wall_ms(&r.phases, |p| {
-                !p.name.contains("part I") && !p.name.contains("Lemma 3.12")
-            });
-            let other_ms = (wall_ms - mwu_ms - coloring_ms - derand_ms).max(0.0);
-            entries.push(format!(
-                concat!(
-                    "    {{\"n\": {}, \"m\": {}, \"max_degree\": {}, \"graph\": \"{}\", ",
-                    "\"route\": \"{}\", ",
-                    "\"size\": {}, \"lp_lower_bound\": {:.3}, ",
-                    "\"measured_engine_rounds\": {}, \"measured_coloring_rounds\": {}, ",
-                    "\"simulated_rounds\": {}, ",
-                    "\"formula_rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, ",
-                    "\"wall_mwu_ms\": {:.3}, \"wall_coloring_ms\": {:.3}, ",
-                    "\"wall_derand_ms\": {:.3}, \"wall_other_ms\": {:.3}}}"
-                ),
-                g.n(),
-                g.m(),
-                g.max_degree(),
-                family.label(),
-                route,
-                r.size(),
-                r.lp_lower_bound,
-                r.measured_engine_rounds(),
-                r.measured_coloring_rounds(),
-                r.ledger.total_simulated_rounds(),
-                r.ledger.total_formula_rounds(),
-                r.ledger.total_messages(),
-                wall_ms,
-                mwu_ms,
-                coloring_ms,
-                derand_ms,
-                other_ms,
-            ));
+            entries.push(bench_entry(&g, &family.label(), route, "sync", &r, wall_ms));
+            if route == "theorem_1_2" && n >= POOLED_BENCH_MIN_N {
+                let start = std::time::Instant::now();
+                let pooled = theorem_1_2_on(&g, &config, &PooledExecutor::new(4));
+                let pooled_ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    pooled.dominating_set, r.dominating_set,
+                    "pooled run diverged from sequential at n = {n}"
+                );
+                assert_eq!(
+                    pooled.ledger, r.ledger,
+                    "pooled ledger diverged from sequential at n = {n}"
+                );
+                entries.push(bench_entry(
+                    &g,
+                    &family.label(),
+                    route,
+                    "pooled4",
+                    &pooled,
+                    pooled_ms,
+                ));
+            }
         }
     }
     format!(
@@ -711,10 +758,11 @@ mod tests {
         let json = pipeline_benchmark_json(&[30]);
         for key in [
             "\"benchmark\": \"pipeline\"",
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"graph\": \"gnp_n30_",
             "\"route\": \"theorem_1_1\"",
             "\"route\": \"theorem_1_2\"",
+            "\"executor\": \"sync\"",
             "\"measured_engine_rounds\"",
             "\"measured_coloring_rounds\"",
             "\"simulated_rounds\"",
@@ -727,11 +775,13 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
-        // Two routes over one size.
+        // Two routes over one size; below POOLED_BENCH_MIN_N there is no
+        // extra pooled-executor row.
         assert_eq!(json.matches("\"route\"").count(), 2);
+        assert!(!json.contains("pooled4"));
         // The decomposition route never colors; the coloring route measures
         // its Lemma 3.12 phases on the engine.
-        assert!(json.contains("\"route\": \"theorem_1_1\", \"size\""));
+        assert!(json.contains("\"route\": \"theorem_1_1\", \"executor\": \"sync\", \"size\""));
         let coloring_route = json
             .lines()
             .find(|l| l.contains("theorem_1_2"))

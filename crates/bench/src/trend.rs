@@ -34,6 +34,9 @@ pub struct BenchRun {
     pub graph: String,
     /// `"theorem_1_1"` or `"theorem_1_2"`.
     pub route: String,
+    /// `"sync"` for the sequential rows, `"pooled4"` for the 4-thread
+    /// persistent-pool rows of the Theorem 1.2 route (schema v3).
+    pub executor: String,
     /// Nodes.
     pub n: u64,
     /// Edges.
@@ -58,8 +61,12 @@ pub struct BenchRun {
 
 impl BenchRun {
     /// The identity a run is matched on across files.
-    pub fn key(&self) -> (String, String) {
-        (self.graph.clone(), self.route.clone())
+    pub fn key(&self) -> (String, String, String) {
+        (
+            self.graph.clone(),
+            self.route.clone(),
+            self.executor.clone(),
+        )
     }
 }
 
@@ -117,6 +124,7 @@ pub fn parse(json: &str) -> Result<BenchFile, String> {
             runs.push(BenchRun {
                 graph: str_field(line, "graph")?,
                 route: str_field(line, "route")?,
+                executor: str_field(line, "executor")?,
                 n: u64_field(line, "n")?,
                 m: u64_field(line, "m")?,
                 max_degree: u64_field(line, "max_degree")?,
@@ -189,19 +197,19 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
         baseline.runs.iter().map(|r| r.key()).collect();
 
     let mut table = String::from(
-        "| graph | route | rounds (engine) | rounds (sim) | messages | \
+        "| graph | route | executor | rounds (engine) | rounds (sim) | messages | \
          wall base (ms) | wall now (ms) | Δ wall | status |\n\
-         | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n",
+         | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n",
     );
     for base in &baseline.runs {
-        let key = format!("{} / {}", base.graph, base.route);
+        let key = format!("{} / {} / {}", base.graph, base.route, base.executor);
         let Some(cur) = current_by_key.get(&base.key()) else {
             violations.push(format!(
                 "{key}: present in baseline but missing from current run"
             ));
             table.push_str(&format!(
-                "| {} | {} | - | - | - | {:.1} | - | - | MISSING |\n",
-                base.graph, base.route, base.wall_ms
+                "| {} | {} | {} | - | - | - | {:.1} | - | - | MISSING |\n",
+                base.graph, base.route, base.executor, base.wall_ms
             ));
             continue;
         };
@@ -250,9 +258,10 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
             }
         }
         table.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {:.1} | {:.1} | {:+.0}% | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:+.0}% | {} |\n",
             cur.graph,
             cur.route,
+            cur.executor,
             cur.measured_engine_rounds,
             cur.simulated_rounds,
             cur.messages,
@@ -266,9 +275,10 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
     for cur in &current.runs {
         if !baseline_keys.contains(&cur.key()) {
             table.push_str(&format!(
-                "| {} | {} | {} | {} | {} | - | {:.1} | - | new |\n",
+                "| {} | {} | {} | {} | {} | {} | - | {:.1} | - | new |\n",
                 cur.graph,
                 cur.route,
+                cur.executor,
                 cur.measured_engine_rounds,
                 cur.simulated_rounds,
                 cur.messages,
@@ -302,10 +312,11 @@ mod tests {
     fn sample(wall: f64, rounds: u64) -> String {
         format!(
             concat!(
-                "{{\n  \"benchmark\": \"pipeline\",\n  \"schema_version\": 2,\n",
+                "{{\n  \"benchmark\": \"pipeline\",\n  \"schema_version\": 3,\n",
                 "  \"runs\": [\n",
                 "    {{\"n\": 50, \"m\": 180, \"max_degree\": 11, ",
                 "\"graph\": \"gnp_n50_p0.16\", \"route\": \"theorem_1_1\", ",
+                "\"executor\": \"sync\", ",
                 "\"size\": 17, \"lp_lower_bound\": 7.1, ",
                 "\"measured_engine_rounds\": {rounds}, ",
                 "\"measured_coloring_rounds\": 0, \"simulated_rounds\": 900, ",
@@ -323,11 +334,12 @@ mod tests {
     #[test]
     fn roundtrip_parses_the_writers_output() {
         let file = parse(&sample(12.5, 700)).expect("parses");
-        assert_eq!(file.schema_version, 2);
+        assert_eq!(file.schema_version, 3);
         assert_eq!(file.runs.len(), 1);
         let run = &file.runs[0];
         assert_eq!(run.graph, "gnp_n50_p0.16");
         assert_eq!(run.route, "theorem_1_1");
+        assert_eq!(run.executor, "sync");
         assert_eq!(run.n, 50);
         assert_eq!(run.measured_engine_rounds, 700);
         assert_eq!(run.messages, 12345);
@@ -382,7 +394,7 @@ mod tests {
     fn schema_and_coverage_mismatches_fail() {
         let base = parse(&sample(10.0, 100)).unwrap();
         let mut newer = base.clone();
-        newer.schema_version = 3;
+        newer.schema_version = 4;
         assert!(compare(&base, &newer)
             .violations
             .iter()

@@ -1,7 +1,9 @@
 //! Immutable undirected network topology in compressed sparse row form.
 
 use crate::error::GraphError;
+use crate::topology::TopologyCache;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a node of the network graph.
 ///
@@ -42,13 +44,32 @@ impl From<NodeId> for usize {
 /// This is the network topology over which all distributed algorithms in the
 /// workspace run. Construction deduplicates parallel edges and rejects
 /// self-loops and out-of-range endpoints.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     offsets: Vec<usize>,
     neighbors: Vec<NodeId>,
     m: usize,
     max_degree: usize,
+    /// Lazily built engine routing tables ([`TopologyCache`]), shared across
+    /// runs and across clones made after the first build. Not part of the
+    /// graph's identity: equality compares structure only.
+    topo: OnceLock<Arc<TopologyCache>>,
 }
+
+/// Structural equality: two graphs are equal iff they have the same CSR
+/// representation. The lazily built topology cache is deliberately excluded —
+/// a graph that has run on the engine stays equal to a fresh copy that has
+/// not.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.neighbors == other.neighbors
+            && self.m == other.m
+            && self.max_degree == other.max_degree
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Builds a graph with `n` nodes from an edge list.
@@ -171,6 +192,29 @@ impl Graph {
         })
     }
 
+    /// The engine's routing tables for this graph, built on first use and
+    /// cached. Every executor run, every phase of a composed program and
+    /// every clone taken after the first build shares one allocation.
+    pub(crate) fn topology(&self) -> &Arc<TopologyCache> {
+        self.topo
+            .get_or_init(|| Arc::new(TopologyCache::build(self)))
+    }
+
+    /// Eagerly builds the engine's per-graph routing tables (`O(m log Δ)`)
+    /// so that subsequent executor runs pay no setup cost. Idempotent; called
+    /// automatically on first use, so this only controls *when* the cost is
+    /// paid (e.g. outside a measured phase's wall time).
+    pub fn warm_topology(&self) {
+        let _ = self.topology();
+    }
+
+    /// Returns `true` if the engine routing tables have already been built
+    /// for this graph instance (directly, via [`Graph::warm_topology`], or by
+    /// a previous executor run).
+    pub fn topology_cached(&self) -> bool {
+        self.topo.get().is_some()
+    }
+
     /// Average degree `2m / n`; `0.0` for the empty graph.
     pub fn average_degree(&self) -> f64 {
         if self.n() == 0 {
@@ -247,6 +291,7 @@ impl GraphBuilder {
             neighbors,
             m: m2 / 2,
             max_degree,
+            topo: OnceLock::new(),
         }
     }
 }

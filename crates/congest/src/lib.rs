@@ -15,10 +15,12 @@
 //!   reusable [`program::Outbox`].
 //! * [`engine`] — the execution engine: a CSR-indexed, double-buffered
 //!   message arena driven by deterministic [`engine::Executor`]s
-//!   ([`engine::SyncExecutor`] and the chunked, bit-identical
-//!   [`engine::ParallelExecutor`]), charging every message against the
-//!   CONGEST bandwidth budget of `O(log n)` bits and recording per-round
-//!   [`engine::RoundStats`].
+//!   ([`engine::SyncExecutor`], the chunked [`engine::ParallelExecutor`] and
+//!   the persistent worker-pool [`pool::PooledExecutor`], all bit-identical),
+//!   charging every message against the CONGEST bandwidth budget of
+//!   `O(log n)` bits and recording per-round [`engine::RoundStats`]. The
+//!   per-graph routing tables are built once and cached inside [`Graph`], so
+//!   repeated runs and multi-phase compositions share the setup.
 //! * [`compose::ComposedProgram`] — the program composition layer: sequences
 //!   heterogeneous node programs (and centrally simulated, closed-form-charged
 //!   steps) as the phases of one multi-phase algorithm, carrying typed state
@@ -53,7 +55,9 @@ mod error;
 mod graph;
 pub mod ledger;
 pub mod message;
+pub mod pool;
 pub mod program;
+mod topology;
 
 pub use compose::{ComposedProgram, CompositionReport, Phase, PhaseMode, PhaseOutcome, PhaseSpec};
 pub use engine::{
@@ -63,6 +67,7 @@ pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use ledger::{CostReport, PhaseCost, RoundLedger};
 pub use message::MessageSize;
+pub use pool::PooledExecutor;
 pub use program::{Inbox, NodeContext, NodeProgram, Outbox, RoundAction};
 
 /// The size, in bits, of the canonical CONGEST message budget for an `n`-node

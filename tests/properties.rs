@@ -3,7 +3,7 @@
 
 use congest_mds::congest::{
     Executor, ExecutorConfig, Graph, Inbox, NodeContext, NodeId, NodeProgram, Outbox,
-    ParallelExecutor, RoundAction, SyncExecutor,
+    ParallelExecutor, PooledExecutor, RoundAction, SyncExecutor,
 };
 use congest_mds::decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
 use congest_mds::decomposition::spanner::{derandomized_spanner, verify_spanner};
@@ -24,6 +24,23 @@ use proptest::prelude::*;
 fn graph_strategy() -> impl Strategy<Value = Graph> {
     (2usize..60, 1u32..30, 0u64..1000)
         .prop_map(|(n, p_num, seed)| generators::gnp(n, p_num as f64 / 100.0, seed))
+}
+
+/// Strategy: a graph drawn from one of several structurally distinct
+/// families (sparse and dense random, trees, hubs, geometric, regular),
+/// exercising very different CSR block shapes for the pooled executor.
+fn family_graph_strategy() -> impl Strategy<Value = Graph> {
+    (0usize..7, 2usize..60, 1u32..30, 0u64..1000).prop_map(
+        |(family, n, p_num, seed)| match family {
+            0 => generators::gnp(n, p_num as f64 / 100.0, seed),
+            1 => generators::cycle(n),
+            2 => generators::star(n),
+            3 => generators::random_tree(n, seed),
+            4 => generators::unit_disk(n, 0.05 + p_num as f64 / 60.0, seed),
+            5 => generators::random_regular(n, (p_num as usize % 4 + 1).min(n - 1), seed),
+            _ => generators::grid(1 + n / 8, 1 + p_num as usize % 6),
+        },
+    )
 }
 
 /// Worker-thread count for the executor-equivalence tests. The proptests
@@ -233,6 +250,134 @@ proptest! {
     }
 }
 
+/// Engine property-test workload that misaddresses a message: `bad` nodes
+/// send to `id + 2` at round `bad_round`, which on a path graph is never a
+/// neighbor. Used to pin the pooled executor's first-error semantics.
+struct Misaddresser {
+    bad: bool,
+    bad_round: u64,
+}
+
+impl NodeProgram for Misaddresser {
+    type Message = u64;
+    type Output = u64;
+
+    fn init(&mut self, _ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, u64>) {
+        outbox.broadcast(0);
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        _inbox: &Inbox<'_, u64>,
+        outbox: &mut Outbox<'_, u64>,
+    ) -> RoundAction<u64> {
+        if self.bad && ctx.round == self.bad_round {
+            outbox.send(NodeId(ctx.id.0 + 2), 7);
+        }
+        if ctx.round >= 6 {
+            RoundAction::Halt(ctx.id.0 as u64)
+        } else {
+            outbox.broadcast(ctx.round);
+            RoundAction::Continue
+        }
+    }
+}
+
+/// The thread counts every pooled-executor property is checked against; the
+/// CI matrix additionally forces `PARALLEL_THREADS` ∈ {1, 2, 4} through
+/// [`forced_threads`], so the union covers under-, exactly- and
+/// over-subscribed pools.
+const POOL_THREADS: [usize; 5] = [1, 2, 3, 5, 16];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    // The persistent-pool executor is bit-identical to the sequential
+    // executor — outputs, rounds, messages, bits, max message size,
+    // violations and per-round stats — for every tested thread count and
+    // across structurally distinct graph families.
+    #[test]
+    fn pooled_executor_is_bit_identical_to_sequential_across_thread_counts(
+        graph in family_graph_strategy(),
+        depth in 1u64..10,
+    ) {
+        let config = ExecutorConfig::default();
+        let seq = SyncExecutor
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        for threads in POOL_THREADS.into_iter().chain([forced_threads(4)]) {
+            let pooled = PooledExecutor::new(threads)
+                .run(&graph, staggered_programs(graph.n(), depth), &config)
+                .unwrap();
+            prop_assert_eq!(&seq, &pooled, "thread count {}", threads);
+        }
+    }
+
+    // When several nodes misaddress a message in the same round, the pooled
+    // executor reports exactly the sequential executor's error: the offender
+    // first in node order, regardless of which worker block finds it first.
+    #[test]
+    fn pooled_executor_reports_the_first_error_in_node_order(
+        n in 5usize..48,
+        bad_mask in 1u32..0xff,
+        // `round()` is first invoked at ctx.round == 1 (round 0 is init).
+        bad_round in 1u64..5,
+    ) {
+        let graph = generators::path(n);
+        // Offenders are spread over the first few nodes (capped at n - 2 so
+        // `v + 2` stays in range, and it is never a neighbor on the path);
+        // the mask is forced non-zero so at least one node misaddresses.
+        let limit = (n - 2).min(8) as u32;
+        let mask = (bad_mask % (1u32 << limit)).max(1);
+        let programs = |_: ()| -> Vec<Misaddresser> {
+            (0..n)
+                .map(|v| Misaddresser {
+                    bad: (v as u32) < limit && mask & (1 << v) != 0,
+                    bad_round,
+                })
+                .collect()
+        };
+        let config = ExecutorConfig::default();
+        let seq = SyncExecutor
+            .run(&graph, programs(()), &config)
+            .unwrap_err();
+        prop_assert!(matches!(seq, congest_mds::congest::ExecutionError::NotANeighbor { .. }));
+        for threads in POOL_THREADS {
+            let pooled = PooledExecutor::new(threads)
+                .run(&graph, programs(()), &config)
+                .unwrap_err();
+            prop_assert_eq!(&seq, &pooled, "thread count {}", threads);
+        }
+    }
+
+    // Reusing the per-graph TopologyCache — across repeated runs, executors
+    // and clones — changes no reported number.
+    #[test]
+    fn topology_cache_reuse_changes_no_reported_numbers(
+        graph in family_graph_strategy(),
+        depth in 1u64..8,
+    ) {
+        let config = ExecutorConfig::default();
+        prop_assert!(!graph.topology_cached());
+        let cold = SyncExecutor
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        prop_assert!(graph.topology_cached());
+        let warm = SyncExecutor
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        prop_assert_eq!(&cold, &warm);
+        // A clone taken after warming shares the cache; its reports agree.
+        let clone = graph.clone();
+        prop_assert!(clone.topology_cached());
+        let cloned = PooledExecutor::new(3)
+            .run(&clone, staggered_programs(clone.n(), depth), &config)
+            .unwrap();
+        prop_assert_eq!(&cold, &cloned);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -326,10 +471,17 @@ proptest! {
                 &config,
                 &ParallelExecutor::new(forced_threads(threads)),
             );
+            let pooled = pipeline::run_on(
+                &graph,
+                &config,
+                &PooledExecutor::new(forced_threads(threads)),
+            );
             prop_assert_eq!(&sync.dominating_set, &oracle.dominating_set);
             prop_assert_eq!(&sync.assignment, &oracle.assignment);
             prop_assert_eq!(&par.dominating_set, &oracle.dominating_set);
             prop_assert_eq!(&par.ledger, &sync.ledger);
+            prop_assert_eq!(&pooled.dominating_set, &oracle.dominating_set);
+            prop_assert_eq!(&pooled.ledger, &sync.ledger);
             prop_assert!(verify::is_dominating_set(&graph, &sync.dominating_set));
         }
     }
@@ -358,13 +510,20 @@ proptest! {
             &config,
             &ParallelExecutor::new(forced_threads(threads)),
         );
+        let pooled = pipeline::theorem_1_2_on(
+            &graph,
+            &config,
+            &PooledExecutor::new(forced_threads(threads)),
+        );
 
-        // Bit-for-bit the central oracle, on both executors.
+        // Bit-for-bit the central oracle, on all three executors.
         prop_assert_eq!(&sync.dominating_set, &oracle.dominating_set);
         prop_assert_eq!(&sync.assignment, &oracle.assignment);
         prop_assert_eq!(&sync.stages, &oracle.stages);
         prop_assert_eq!(&par.dominating_set, &oracle.dominating_set);
         prop_assert_eq!(&par.ledger, &sync.ledger);
+        prop_assert_eq!(&pooled.dominating_set, &oracle.dominating_set);
+        prop_assert_eq!(&pooled.ledger, &sync.ledger);
         prop_assert!(verify::is_dominating_set(&graph, &sync.dominating_set));
 
         // Every rounding step ran a measured coloring phase whose rounds are
