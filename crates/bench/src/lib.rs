@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 use congest_sim::{Graph, PhaseMode, PhaseOutcome, PooledExecutor};
+use congest_transport::ChannelExecutor;
 use mds_cds::build::{connect_dominating_set, CdsConfig};
 use mds_cds::verify::is_connected_dominating_set;
 use mds_core::pipeline::{theorem_1_1, theorem_1_2, theorem_1_2_on, MdsConfig, MdsResult};
@@ -528,12 +529,25 @@ pub fn run_experiment(id: &str) -> String {
 /// `"pooled4"` for the persistent-pool runs of the Theorem 1.2 route at
 /// [`POOLED_BENCH_MIN_N`] nodes and above) and made it part of the run
 /// identity the trend gate matches on.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+///
+/// v4 added the `"transport"` field — `"arena"` for every in-process-arena
+/// executor row, `"channels"` for the serialized channel-backend rows of the
+/// Theorem 1.2 route between [`POOLED_BENCH_MIN_N`] and
+/// [`CHANNELS_BENCH_MAX_N`] nodes (`"executor": "channels4"`) — and made it
+/// the fourth component of the run identity.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Smallest `n` at which the benchmark additionally times the Theorem 1.2
 /// route on the 4-thread persistent-pool executor. Below this the run is
 /// dominated by setup and the pool column would only measure noise.
 pub const POOLED_BENCH_MIN_N: usize = 1000;
+
+/// Largest `n` at which the benchmark times the Theorem 1.2 route on the
+/// serialized channel backend (`ChannelExecutor`, 4 groups × 4 threads).
+/// Every committed message crosses the encode → frame → decode path, so the
+/// row is deliberately capped: one mid-size data point tracks the codec's
+/// cost trend without doubling the sweep's wall time at the top sizes.
+pub const CHANNELS_BENCH_MAX_N: usize = 1000;
 
 /// Largest `n` the Theorem 1.1 (network-decomposition) route runs at in the
 /// benchmark sweep. Its derandomization serializes coin fixing through
@@ -590,6 +604,7 @@ fn bench_entry(
     family_label: &str,
     route: &str,
     executor: &str,
+    transport: &str,
     r: &MdsResult,
     wall_ms: f64,
 ) -> String {
@@ -602,7 +617,7 @@ fn bench_entry(
     format!(
         concat!(
             "    {{\"n\": {}, \"m\": {}, \"max_degree\": {}, \"graph\": \"{}\", ",
-            "\"route\": \"{}\", \"executor\": \"{}\", ",
+            "\"route\": \"{}\", \"executor\": \"{}\", \"transport\": \"{}\", ",
             "\"size\": {}, \"lp_lower_bound\": {:.3}, ",
             "\"measured_engine_rounds\": {}, \"measured_coloring_rounds\": {}, ",
             "\"simulated_rounds\": {}, ",
@@ -616,6 +631,7 @@ fn bench_entry(
         family_label,
         route,
         executor,
+        transport,
         r.size(),
         r.lp_lower_bound,
         r.measured_engine_rounds(),
@@ -641,8 +657,10 @@ fn bench_entry(
 /// Sizes above [`THEOREM_1_1_MAX_N`] skip the Theorem 1.1 route (see the
 /// constant's docs); sizes at or above [`POOLED_BENCH_MIN_N`] additionally
 /// time the Theorem 1.2 route on the 4-thread persistent-pool executor
-/// (`"executor": "pooled4"`), asserting its rounds, messages and solution
-/// bit-identical to the sequential run so the extra row can only ever differ
+/// (`"executor": "pooled4"`) and — up to [`CHANNELS_BENCH_MAX_N`] — on the
+/// serialized channel backend (`"executor": "channels4"`, `"transport":
+/// "channels"`), asserting their rounds, messages and solution bit-identical
+/// to the sequential run so the extra rows can only ever differ
 /// in wall time. The wall breakdown classifies measured phases by name:
 /// `mwu` (Part I LP), `coloring` (Lemma 3.12 distance-two coloring), `derand`
 /// (every other measured phase — the scheduled coin fixing), and `other` (the
@@ -667,7 +685,15 @@ pub fn pipeline_benchmark_json(sizes: &[usize]) -> String {
             };
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             assert!(verify::is_dominating_set(&g, &r.dominating_set));
-            entries.push(bench_entry(&g, &family.label(), route, "sync", &r, wall_ms));
+            entries.push(bench_entry(
+                &g,
+                &family.label(),
+                route,
+                "sync",
+                "arena",
+                &r,
+                wall_ms,
+            ));
             if route == "theorem_1_2" && n >= POOLED_BENCH_MIN_N {
                 let start = std::time::Instant::now();
                 let pooled = theorem_1_2_on(&g, &config, &PooledExecutor::new(4));
@@ -685,8 +711,31 @@ pub fn pipeline_benchmark_json(sizes: &[usize]) -> String {
                     &family.label(),
                     route,
                     "pooled4",
+                    "arena",
                     &pooled,
                     pooled_ms,
+                ));
+            }
+            if route == "theorem_1_2" && (POOLED_BENCH_MIN_N..=CHANNELS_BENCH_MAX_N).contains(&n) {
+                let start = std::time::Instant::now();
+                let channels = theorem_1_2_on(&g, &config, &ChannelExecutor::new(4, 4));
+                let channels_ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    channels.dominating_set, r.dominating_set,
+                    "channel run diverged from sequential at n = {n}"
+                );
+                assert_eq!(
+                    channels.ledger, r.ledger,
+                    "channel ledger diverged from sequential at n = {n}"
+                );
+                entries.push(bench_entry(
+                    &g,
+                    &family.label(),
+                    route,
+                    "channels4",
+                    "channels",
+                    &channels,
+                    channels_ms,
                 ));
             }
         }
@@ -758,11 +807,12 @@ mod tests {
         let json = pipeline_benchmark_json(&[30]);
         for key in [
             "\"benchmark\": \"pipeline\"",
-            "\"schema_version\": 3",
+            "\"schema_version\": 4",
             "\"graph\": \"gnp_n30_",
             "\"route\": \"theorem_1_1\"",
             "\"route\": \"theorem_1_2\"",
             "\"executor\": \"sync\"",
+            "\"transport\": \"arena\"",
             "\"measured_engine_rounds\"",
             "\"measured_coloring_rounds\"",
             "\"simulated_rounds\"",
@@ -776,12 +826,16 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         // Two routes over one size; below POOLED_BENCH_MIN_N there is no
-        // extra pooled-executor row.
+        // extra pooled-executor or channel-backend row.
         assert_eq!(json.matches("\"route\"").count(), 2);
         assert!(!json.contains("pooled4"));
+        assert!(!json.contains("channels4"));
         // The decomposition route never colors; the coloring route measures
         // its Lemma 3.12 phases on the engine.
-        assert!(json.contains("\"route\": \"theorem_1_1\", \"executor\": \"sync\", \"size\""));
+        assert!(json.contains(
+            "\"route\": \"theorem_1_1\", \"executor\": \"sync\", \
+             \"transport\": \"arena\", \"size\""
+        ));
         let coloring_route = json
             .lines()
             .find(|l| l.contains("theorem_1_2"))

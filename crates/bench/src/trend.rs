@@ -35,8 +35,13 @@ pub struct BenchRun {
     /// `"theorem_1_1"` or `"theorem_1_2"`.
     pub route: String,
     /// `"sync"` for the sequential rows, `"pooled4"` for the 4-thread
-    /// persistent-pool rows of the Theorem 1.2 route (schema v3).
+    /// persistent-pool rows, `"channels4"` for the serialized
+    /// channel-backend rows of the Theorem 1.2 route (schema v3/v4).
     pub executor: String,
+    /// How committed message batches move between rounds: `"arena"` for the
+    /// in-process executors, `"channels"` for the serialized channel backend
+    /// (schema v4).
+    pub transport: String,
     /// Nodes.
     pub n: u64,
     /// Edges.
@@ -61,11 +66,12 @@ pub struct BenchRun {
 
 impl BenchRun {
     /// The identity a run is matched on across files.
-    pub fn key(&self) -> (String, String, String) {
+    pub fn key(&self) -> (String, String, String, String) {
         (
             self.graph.clone(),
             self.route.clone(),
             self.executor.clone(),
+            self.transport.clone(),
         )
     }
 }
@@ -112,19 +118,40 @@ fn str_field(line: &str, key: &str) -> Result<String, String> {
 ///
 /// # Errors
 ///
-/// Returns a description of the first malformed or missing field.
+/// Returns a description of the first malformed or missing field. A file
+/// stamped with a schema version this binary does not write is rejected up
+/// front with a directional message — "rebuild the binary" when the file is
+/// newer (its run lines carry fields this parser has never heard of, so a
+/// field-level error would only mislead), "regenerate the file" when it is
+/// older.
 pub fn parse(json: &str) -> Result<BenchFile, String> {
+    let binary_version = u64::from(crate::BENCH_SCHEMA_VERSION);
     let mut schema_version = None;
     let mut runs = Vec::new();
     for line in json.lines() {
         if line.contains("\"schema_version\"") {
-            schema_version = Some(u64_field(line, "schema_version")?);
+            let version = u64_field(line, "schema_version")?;
+            if version > binary_version {
+                return Err(format!(
+                    "benchmark file declares schema v{version}, newer than this binary's \
+                     v{binary_version} — rebuild the binary (cargo build --release -p mds_bench) \
+                     or regenerate the file with this binary (experiments --json)"
+                ));
+            }
+            if version < binary_version {
+                return Err(format!(
+                    "benchmark file declares schema v{version}, older than this binary's \
+                     v{binary_version} — regenerate it with this binary (experiments --json)"
+                ));
+            }
+            schema_version = Some(version);
         }
         if line.contains("\"route\"") {
             runs.push(BenchRun {
                 graph: str_field(line, "graph")?,
                 route: str_field(line, "route")?,
                 executor: str_field(line, "executor")?,
+                transport: str_field(line, "transport")?,
                 n: u64_field(line, "n")?,
                 m: u64_field(line, "m")?,
                 max_degree: u64_field(line, "max_degree")?,
@@ -197,19 +224,22 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
         baseline.runs.iter().map(|r| r.key()).collect();
 
     let mut table = String::from(
-        "| graph | route | executor | rounds (engine) | rounds (sim) | messages | \
+        "| graph | route | executor | transport | rounds (engine) | rounds (sim) | messages | \
          wall base (ms) | wall now (ms) | Δ wall | status |\n\
-         | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n",
+         | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n",
     );
     for base in &baseline.runs {
-        let key = format!("{} / {} / {}", base.graph, base.route, base.executor);
+        let key = format!(
+            "{} / {} / {} / {}",
+            base.graph, base.route, base.executor, base.transport
+        );
         let Some(cur) = current_by_key.get(&base.key()) else {
             violations.push(format!(
                 "{key}: present in baseline but missing from current run"
             ));
             table.push_str(&format!(
-                "| {} | {} | {} | - | - | - | {:.1} | - | - | MISSING |\n",
-                base.graph, base.route, base.executor, base.wall_ms
+                "| {} | {} | {} | {} | - | - | - | {:.1} | - | - | MISSING |\n",
+                base.graph, base.route, base.executor, base.transport, base.wall_ms
             ));
             continue;
         };
@@ -258,10 +288,11 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
             }
         }
         table.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:+.0}% | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:+.0}% | {} |\n",
             cur.graph,
             cur.route,
             cur.executor,
+            cur.transport,
             cur.measured_engine_rounds,
             cur.simulated_rounds,
             cur.messages,
@@ -275,10 +306,11 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
     for cur in &current.runs {
         if !baseline_keys.contains(&cur.key()) {
             table.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | - | {:.1} | - | new |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | - | {:.1} | - | new |\n",
                 cur.graph,
                 cur.route,
                 cur.executor,
+                cur.transport,
                 cur.measured_engine_rounds,
                 cur.simulated_rounds,
                 cur.messages,
@@ -312,11 +344,11 @@ mod tests {
     fn sample(wall: f64, rounds: u64) -> String {
         format!(
             concat!(
-                "{{\n  \"benchmark\": \"pipeline\",\n  \"schema_version\": 3,\n",
+                "{{\n  \"benchmark\": \"pipeline\",\n  \"schema_version\": 4,\n",
                 "  \"runs\": [\n",
                 "    {{\"n\": 50, \"m\": 180, \"max_degree\": 11, ",
                 "\"graph\": \"gnp_n50_p0.16\", \"route\": \"theorem_1_1\", ",
-                "\"executor\": \"sync\", ",
+                "\"executor\": \"sync\", \"transport\": \"arena\", ",
                 "\"size\": 17, \"lp_lower_bound\": 7.1, ",
                 "\"measured_engine_rounds\": {rounds}, ",
                 "\"measured_coloring_rounds\": 0, \"simulated_rounds\": 900, ",
@@ -334,12 +366,13 @@ mod tests {
     #[test]
     fn roundtrip_parses_the_writers_output() {
         let file = parse(&sample(12.5, 700)).expect("parses");
-        assert_eq!(file.schema_version, 3);
+        assert_eq!(file.schema_version, u64::from(crate::BENCH_SCHEMA_VERSION));
         assert_eq!(file.runs.len(), 1);
         let run = &file.runs[0];
         assert_eq!(run.graph, "gnp_n50_p0.16");
         assert_eq!(run.route, "theorem_1_1");
         assert_eq!(run.executor, "sync");
+        assert_eq!(run.transport, "arena");
         assert_eq!(run.n, 50);
         assert_eq!(run.measured_engine_rounds, 700);
         assert_eq!(run.messages, 12345);
@@ -354,6 +387,25 @@ mod tests {
         let bad = sample(1.0, 5).replace("\"messages\": 12345, ", "");
         let err = parse(&bad).unwrap_err();
         assert!(err.contains("messages"), "{err}");
+    }
+
+    #[test]
+    fn foreign_schema_versions_get_directional_errors_not_field_noise() {
+        // A file from a *newer* binary: its lines carry fields this parser
+        // has never heard of — the guard must fire before any field error.
+        let newer = sample(1.0, 5).replace("\"schema_version\": 4", "\"schema_version\": 99");
+        let err = parse(&newer).unwrap_err();
+        assert!(err.contains("newer than this binary"), "{err}");
+        assert!(err.contains("rebuild the binary"), "{err}");
+
+        // A file from an *older* binary points at regeneration instead.
+        let older = sample(1.0, 5)
+            .replace("\"schema_version\": 4", "\"schema_version\": 3")
+            .replace("\"transport\": \"arena\", ", "");
+        let err = parse(&older).unwrap_err();
+        assert!(err.contains("older than this binary"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+        assert!(!err.contains("transport"), "no field-level noise: {err}");
     }
 
     #[test]
@@ -394,7 +446,7 @@ mod tests {
     fn schema_and_coverage_mismatches_fail() {
         let base = parse(&sample(10.0, 100)).unwrap();
         let mut newer = base.clone();
-        newer.schema_version = 4;
+        newer.schema_version = 5;
         assert!(compare(&base, &newer)
             .violations
             .iter()

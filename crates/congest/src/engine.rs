@@ -195,6 +195,59 @@ impl fmt::Display for ExecutionError {
 
 impl Error for ExecutionError {}
 
+/// Tagged-union encoding, so multi-process transport backends can ship the
+/// run's first error to the peer and both sides fail identically.
+impl crate::message::Wire for ExecutionError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ExecutionError::NotANeighbor { from, to } => {
+                out.push(0);
+                from.encode(out);
+                to.encode(out);
+            }
+            ExecutionError::RoundLimitExceeded { limit } => {
+                out.push(1);
+                limit.encode(out);
+            }
+            ExecutionError::ProgramCountMismatch { programs, nodes } => {
+                out.push(2);
+                programs.encode(out);
+                nodes.encode(out);
+            }
+            ExecutionError::BandwidthExceeded { from, bits, budget } => {
+                out.push(3);
+                from.encode(out);
+                bits.encode(out);
+                budget.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => ExecutionError::NotANeighbor {
+                from: NodeId::decode(buf, pos)?,
+                to: NodeId::decode(buf, pos)?,
+            },
+            1 => ExecutionError::RoundLimitExceeded {
+                limit: u64::decode(buf, pos)?,
+            },
+            2 => ExecutionError::ProgramCountMismatch {
+                programs: usize::decode(buf, pos)?,
+                nodes: usize::decode(buf, pos)?,
+            },
+            3 => ExecutionError::BandwidthExceeded {
+                from: NodeId::decode(buf, pos)?,
+                bits: usize::decode(buf, pos)?,
+                budget: usize::decode(buf, pos)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
 /// A deterministic driver for [`NodeProgram`]s.
 ///
 /// All implementations must produce identical [`RunReport`]s for identical
@@ -332,22 +385,49 @@ impl Executor for ParallelExecutor {
     }
 }
 
-/// CSR-indexed, double-buffered per-edge message arena.
+/// How committed `(slot, message)` batches move between rounds — the seam
+/// between the round loop and the message plane.
+///
+/// The engine resolves every send to its *destination* arena slot (through
+/// the [`TopologyCache`] mirror table) before it reaches the delivery layer,
+/// so an implementation only stores, advances and serves slot-indexed
+/// batches; it never consults the graph. The in-process default is
+/// [`ArenaDelivery`]; the `congest_transport` crate builds channel- and
+/// socket-backed executors on the same seam, moving the identical
+/// `(slot, msg)` batches as serialized bytes instead of arena writes.
+///
+/// The contract every implementation must keep for bit-identical reports:
+/// within one round, multiple [`Delivery::queue`] calls for the same slot
+/// keep the *last* message (all writes to one slot come from one sender, in
+/// that sender's send order), and [`Delivery::advance`] publishes exactly
+/// the queued batch as the next round's [`Delivery::current`].
+pub trait Delivery<M> {
+    /// Stages `msg` for delivery into destination arena slot `slot` at the
+    /// start of the next round. A later `queue` to the same slot within the
+    /// same round replaces the message (one message per edge per round).
+    fn queue(&mut self, slot: usize, msg: M);
+
+    /// Ends the round: queued messages become current, the previous round's
+    /// messages are dropped.
+    fn advance(&mut self);
+
+    /// The messages delivered for the current round, indexed by arena slot.
+    fn current(&self) -> &[Option<M>];
+}
+
+/// CSR-indexed, double-buffered per-edge message arena — the zero-cost
+/// in-process [`Delivery`] backend.
 ///
 /// Slot `slot_range(v).start + i` holds the message *received by* `v` from
-/// its `i`-th CSR neighbor. `mirror` maps each slot to its reverse-direction
-/// twin, so sender-side writes land directly in the receiver's inbox range.
-struct MessageStore<M> {
-    /// Shared per-graph routing tables ([`TopologyCache`]); borrowed from the
-    /// graph's cache rather than rebuilt, so an 8-phase composition (or a
-    /// benchmark re-running one graph) pays the `O(m log Δ)` setup once.
-    topo: Arc<TopologyCache>,
+/// its `i`-th CSR neighbor; senders write through the [`TopologyCache`]
+/// mirror so the write side is the receiver's inbox range.
+pub struct ArenaDelivery<M> {
     /// Messages delivered this round (read side).
     cur: Vec<Option<M>>,
     /// Messages queued for the next round (write side).
     next: Vec<Option<M>>,
     /// Slots occupied on the read side — the ones to clear on the next
-    /// [`MessageStore::advance`], so a sparse round (a few deciders in an
+    /// [`ArenaDelivery::advance`], so a sparse round (a few deciders in an
     /// otherwise idle schedule, the tail of a mostly-halted run) pays for the
     /// messages it actually carried instead of an `O(m)` full-arena sweep.
     cur_written: Vec<usize>,
@@ -356,15 +436,34 @@ struct MessageStore<M> {
     next_written: Vec<usize>,
 }
 
-impl<M> MessageStore<M> {
-    fn new(graph: &Graph) -> Self {
-        let slots = graph.slot_count();
-        MessageStore {
-            topo: Arc::clone(graph.topology()),
+impl<M> ArenaDelivery<M> {
+    /// An empty arena with one slot per directed edge of `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        Self::with_slots(graph.slot_count())
+    }
+
+    /// An empty arena over an explicit slot count (transport backends size
+    /// shards directly).
+    pub fn with_slots(slots: usize) -> Self {
+        ArenaDelivery {
             cur: std::iter::repeat_with(|| None).take(slots).collect(),
             next: std::iter::repeat_with(|| None).take(slots).collect(),
             cur_written: Vec::new(),
             next_written: Vec::new(),
+        }
+    }
+}
+
+impl<M> Delivery<M> for ArenaDelivery<M> {
+    fn queue(&mut self, slot: usize, msg: M) {
+        // A duplicate send to the same neighbor overwrites the slot (the
+        // last message wins — one message per edge per round); record the
+        // slot in `next_written` only on first occupancy so the sparse
+        // clear in `advance` touches each slot once.
+        if self.next[slot].replace(msg).is_some() {
+            debug_assert!(self.next_written.contains(&slot));
+        } else {
+            self.next_written.push(slot);
         }
     }
 
@@ -378,78 +477,130 @@ impl<M> MessageStore<M> {
         std::mem::swap(&mut self.cur, &mut self.next);
         std::mem::swap(&mut self.cur_written, &mut self.next_written);
     }
+
+    fn current(&self) -> &[Option<M>] {
+        &self.cur
+    }
 }
 
 /// Running totals for the charging path. All accumulation is saturating so a
 /// LOCAL-model `usize::MAX` budget (or absurdly long runs) cannot overflow.
 /// Saturating `u64` addition is associative (it is ordinary addition clamped
 /// at a ceiling none of the partial sums can exceed without the total also
-/// exceeding it), which is what lets the pooled executor fold per-worker
-/// sub-totals and still match the sequential left-to-right accumulation bit
-/// for bit.
-#[derive(Default)]
-pub(crate) struct Accounting {
-    pub(crate) messages: u64,
-    pub(crate) bits: u64,
-    pub(crate) max_message_bits: usize,
-    pub(crate) violations: u64,
+/// exceeding it), which is what lets the pooled executor — and every
+/// transport backend — fold per-worker sub-totals and still match the
+/// sequential left-to-right accumulation bit for bit.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Accounting {
+    /// Messages charged.
+    pub messages: u64,
+    /// Bits charged (saturating).
+    pub bits: u64,
+    /// Largest message observed, in bits.
+    pub max_message_bits: usize,
+    /// Messages that exceeded the bandwidth budget.
+    pub violations: u64,
 }
 
-/// Commits the queued outboxes of all nodes, in node order, into `store.next`,
+impl Accounting {
+    /// Folds `other` into `self`. Saturating sums, max of maxima — the
+    /// associative/commutative-per-field merge that makes block-order folds
+    /// of sub-totals equal the sequential accumulation.
+    pub fn fold(&mut self, other: &Accounting) {
+        self.messages = self.messages.saturating_add(other.messages);
+        self.bits = self.bits.saturating_add(other.bits);
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.violations = self.violations.saturating_add(other.violations);
+    }
+}
+
+/// Drains one node's queued outbox: resolves each send to its destination
+/// arena slot through `mirror`, charges it into `acct`, and hands
+/// `(slot, msg)` to `sink` in send order.
+///
+/// This is the single per-message commit primitive shared by every executor
+/// (sequential, scoped, pooled and the transport backends), so the check
+/// order — [`INVALID_SLOT`] → [`ExecutionError::NotANeighbor`] first, then
+/// the bandwidth charge and (if enforced) [`ExecutionError::BandwidthExceeded`]
+/// — is identical everywhere and first-error behavior cannot drift between
+/// backends. On an error the remaining queued messages are discarded
+/// uncharged, exactly as in sequential execution.
+///
+/// `slot_base` is `graph.slot_range(from).start`; `invalid_to` is the
+/// outbox's recorded first non-neighbor target.
+#[allow(clippy::too_many_arguments)]
+pub fn drain_outbox<M: MessageSize>(
+    mirror: &[usize],
+    slot_base: usize,
+    from: NodeId,
+    outbox: &mut Vec<OutMsg<M>>,
+    invalid_to: Option<NodeId>,
+    bandwidth: usize,
+    enforce: bool,
+    acct: &mut Accounting,
+    mut sink: impl FnMut(usize, M),
+) -> Result<(), ExecutionError> {
+    for OutMsg { slot: i, msg } in outbox.drain(..) {
+        if i == INVALID_SLOT {
+            // The outbox records the first non-neighbor target, which is
+            // exactly the send this first sentinel belongs to.
+            let to = invalid_to.expect("invalid slot without recorded target");
+            return Err(ExecutionError::NotANeighbor { from, to });
+        }
+        let bits = msg.size_bits();
+        acct.max_message_bits = acct.max_message_bits.max(bits);
+        if bits > bandwidth {
+            acct.violations += 1;
+            if enforce {
+                return Err(ExecutionError::BandwidthExceeded {
+                    from,
+                    bits,
+                    budget: bandwidth,
+                });
+            }
+        }
+        acct.messages += 1;
+        acct.bits = acct.bits.saturating_add(bits as u64);
+        sink(mirror[slot_base + i as usize], msg);
+    }
+    Ok(())
+}
+
+/// Commits the queued outboxes of all nodes, in node order, into `delivery`,
 /// charging each message. Delivery slots were resolved at send time, so the
-/// hot loop is a straight arena write per message; a send to a non-neighbor
-/// surfaces here as [`INVALID_SLOT`], with the offending target parked in the
-/// sender's `invalid` scratch slot. Returns `(messages, bits)` sent this
-/// round.
-fn commit_round<M: MessageSize>(
+/// hot loop is a straight [`Delivery::queue`] per message; a send to a
+/// non-neighbor surfaces here as [`INVALID_SLOT`], with the offending target
+/// parked in the sender's `invalid` scratch slot. Returns `(messages, bits)`
+/// sent this round.
+#[allow(clippy::too_many_arguments)]
+fn commit_round<M: MessageSize, D: Delivery<M>>(
     graph: &Graph,
-    store: &mut MessageStore<M>,
+    topo: &TopologyCache,
+    delivery: &mut D,
     pending: &mut [Vec<OutMsg<M>>],
     invalid: &[Option<NodeId>],
     acct: &mut Accounting,
     bandwidth: usize,
     enforce: bool,
 ) -> Result<(u64, u64), ExecutionError> {
-    let mut messages = 0u64;
-    let mut bits_sent = 0u64;
+    let mut round = Accounting::default();
     for (v, outbox) in pending.iter_mut().enumerate() {
         let from = NodeId(v);
         let base = graph.slot_range(from).start;
-        for OutMsg { slot: i, msg } in outbox.drain(..) {
-            if i == INVALID_SLOT {
-                // The outbox records the first non-neighbor target, which is
-                // exactly the send this first sentinel belongs to.
-                let to = invalid[v].expect("invalid slot without recorded target");
-                return Err(ExecutionError::NotANeighbor { from, to });
-            }
-            let bits = msg.size_bits();
-            acct.max_message_bits = acct.max_message_bits.max(bits);
-            if bits > bandwidth {
-                acct.violations += 1;
-                if enforce {
-                    return Err(ExecutionError::BandwidthExceeded {
-                        from,
-                        bits,
-                        budget: bandwidth,
-                    });
-                }
-            }
-            messages += 1;
-            bits_sent = bits_sent.saturating_add(bits as u64);
-            let slot = store.topo.mirror[base + i as usize];
-            // A duplicate send to the same neighbor overwrites the slot (the
-            // last message wins — one message per edge per round); record the
-            // slot in `next_written` only on first occupancy so the sparse
-            // clear in `advance` touches each slot once.
-            if store.next[slot].replace(msg).is_some() {
-                debug_assert!(store.next_written.contains(&slot));
-            } else {
-                store.next_written.push(slot);
-            }
-        }
+        drain_outbox(
+            &topo.mirror,
+            base,
+            from,
+            outbox,
+            invalid[v],
+            bandwidth,
+            enforce,
+            &mut round,
+            |slot, msg| delivery.queue(slot, msg),
+        )?;
     }
-    acct.messages = acct.messages.saturating_add(messages);
-    acct.bits = acct.bits.saturating_add(bits_sent);
+    let (messages, bits_sent) = (round.messages, round.bits);
+    acct.fold(&round);
     Ok((messages, bits_sent))
 }
 
@@ -506,7 +657,7 @@ fn execute_block<P: NodeProgram>(
 
 pub(crate) fn run_engine<P>(
     graph: &Graph,
-    mut programs: Vec<P>,
+    programs: Vec<P>,
     config: &ExecutorConfig,
     threads: usize,
 ) -> Result<RunReport<P::Output>, ExecutionError>
@@ -514,6 +665,28 @@ where
     P: NodeProgram + Send,
     P::Message: Send + Sync,
     P::Output: Send,
+{
+    let mut delivery: ArenaDelivery<P::Message> = ArenaDelivery::new(graph);
+    run_engine_with(graph, programs, config, threads, &mut delivery)
+}
+
+/// The round loop, generic over the [`Delivery`] backend that moves committed
+/// `(slot, msg)` batches between rounds. `run_engine` instantiates it with
+/// the in-process [`ArenaDelivery`]; tests and transport backends may supply
+/// their own implementation to observe or redirect the message plane without
+/// touching the loop.
+pub fn run_engine_with<P, D>(
+    graph: &Graph,
+    mut programs: Vec<P>,
+    config: &ExecutorConfig,
+    threads: usize,
+    delivery: &mut D,
+) -> Result<RunReport<P::Output>, ExecutionError>
+where
+    P: NodeProgram + Send,
+    P::Message: Send + Sync,
+    P::Output: Send,
+    D: Delivery<P::Message>,
 {
     let n = graph.n();
     if programs.len() != n {
@@ -527,7 +700,7 @@ where
         .unwrap_or_else(|| crate::congest_bandwidth_bits(n));
     let threads = threads.max(1);
 
-    let mut store: MessageStore<P::Message> = MessageStore::new(graph);
+    let topo = Arc::clone(graph.topology());
     let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
     let mut halted = vec![false; n];
     let mut halted_count = 0usize;
@@ -554,7 +727,8 @@ where
     }
     let (messages, bits) = commit_round(
         graph,
-        &mut store,
+        &topo,
+        delivery,
         &mut pending,
         &invalid,
         &mut acct,
@@ -572,7 +746,7 @@ where
 
     let mut round = 0u64;
     loop {
-        store.advance();
+        delivery.advance();
         if halted_count == n {
             break;
         }
@@ -587,7 +761,7 @@ where
         let view = RoundView {
             graph,
             round,
-            cur: &store.cur,
+            cur: delivery.current(),
         };
         let newly_halted = if threads == 1 || n <= 1 {
             execute_block(
@@ -629,7 +803,8 @@ where
         // charging order and first-error behavior match sequential execution.
         let (messages, bits) = commit_round(
             graph,
-            &mut store,
+            &topo,
+            delivery,
             &mut pending,
             &invalid,
             &mut acct,

@@ -159,20 +159,21 @@ impl Graph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
-    /// The range of CSR slots belonging to `v`'s adjacency list. Used by the
-    /// execution engine to index per-edge message arenas.
-    pub(crate) fn slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
+    /// The range of CSR slots belonging to `v`'s adjacency list. Part of the
+    /// engine SPI: executors (including external transport backends) use it
+    /// to index per-edge message arenas.
+    pub fn slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
         self.offsets[v.0]..self.offsets[v.0 + 1]
     }
 
     /// Position of `u` within `v`'s sorted adjacency list, if `{v, u}` is an
     /// edge. `O(log deg(v))`.
-    pub(crate) fn neighbor_index(&self, v: NodeId, u: NodeId) -> Option<usize> {
+    pub fn neighbor_index(&self, v: NodeId, u: NodeId) -> Option<usize> {
         self.neighbors(v).binary_search(&u).ok()
     }
 
     /// Total number of directed adjacency slots (`2m`).
-    pub(crate) fn slot_count(&self) -> usize {
+    pub fn slot_count(&self) -> usize {
         self.neighbors.len()
     }
 
@@ -194,8 +195,10 @@ impl Graph {
 
     /// The engine's routing tables for this graph, built on first use and
     /// cached. Every executor run, every phase of a composed program and
-    /// every clone taken after the first build shares one allocation.
-    pub(crate) fn topology(&self) -> &Arc<TopologyCache> {
+    /// every clone taken after the first build shares one allocation. Part
+    /// of the engine SPI, exposed so external transport backends route
+    /// through the same cached tables.
+    pub fn topology(&self) -> &Arc<TopologyCache> {
         self.topo
             .get_or_init(|| Arc::new(TopologyCache::build(self)))
     }

@@ -57,18 +57,20 @@ pub mod ledger;
 pub mod message;
 pub mod pool;
 pub mod program;
-mod topology;
+pub mod topology;
 
 pub use compose::{ComposedProgram, CompositionReport, Phase, PhaseMode, PhaseOutcome, PhaseSpec};
 pub use engine::{
-    ExecutionError, Executor, ExecutorConfig, ParallelExecutor, RoundStats, RunReport, SyncExecutor,
+    drain_outbox, Accounting, ArenaDelivery, Delivery, ExecutionError, Executor, ExecutorConfig,
+    ParallelExecutor, RoundStats, RunReport, SyncExecutor,
 };
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use ledger::{CostReport, PhaseCost, RoundLedger};
-pub use message::MessageSize;
+pub use message::{MessageSize, Wire};
 pub use pool::PooledExecutor;
-pub use program::{Inbox, NodeContext, NodeProgram, Outbox, RoundAction};
+pub use program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction, INVALID_SLOT};
+pub use topology::TopologyCache;
 
 /// The size, in bits, of the canonical CONGEST message budget for an `n`-node
 /// network: `ceil(log2 n)` multiplied by a small constant factor.

@@ -77,11 +77,11 @@
 //! [`SyncExecutor`]: crate::engine::SyncExecutor
 
 use crate::engine::{
-    run_engine, Accounting, ExecutionError, Executor, ExecutorConfig, ParallelExecutor, RoundStats,
-    RunReport,
+    drain_outbox, run_engine, Accounting, ExecutionError, Executor, ExecutorConfig,
+    ParallelExecutor, RoundStats, RunReport,
 };
 use crate::message::MessageSize;
-use crate::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction, INVALID_SLOT};
+use crate::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction};
 use crate::topology::TopologyCache;
 use crate::{Graph, NodeId};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -191,10 +191,7 @@ impl Executor for PooledExecutor {
 /// through a mutex and folded in block order.
 #[derive(Default)]
 struct WorkerRound {
-    messages: u64,
-    bits: u64,
-    max_message_bits: usize,
-    violations: u64,
+    acct: Accounting,
     newly_halted: usize,
     /// First error this worker's block produced, in node/send order.
     error: Option<ExecutionError>,
@@ -246,10 +243,10 @@ impl Coordinator<'_> {
         let mut error: Option<ExecutionError> = None;
         for cell in &shared.published {
             let rep = std::mem::take(&mut *cell.lock().expect("publish lock"));
-            messages += rep.messages;
-            bits = bits.saturating_add(rep.bits);
-            self.acct.max_message_bits = self.acct.max_message_bits.max(rep.max_message_bits);
-            self.acct.violations += rep.violations;
+            messages += rep.acct.messages;
+            bits = bits.saturating_add(rep.acct.bits);
+            self.acct.max_message_bits = self.acct.max_message_bits.max(rep.acct.max_message_bits);
+            self.acct.violations += rep.acct.violations;
             newly += rep.newly_halted;
             if error.is_none() {
                 // Lowest block wins: the first error in global node order.
@@ -299,9 +296,10 @@ struct WorkerBlock<'a, P: NodeProgram> {
     cur: &'a mut [Option<P::Message>],
 }
 
-/// Drains one node's outbox: charges each message into `report` and routes
-/// it to the destination block's batch. Mirrors the sequential
-/// `commit_round` per-message logic (and its check order) exactly.
+/// Drains one node's outbox through the engine's shared
+/// [`drain_outbox`] primitive: charges each message into `report` and routes
+/// it to the destination block's batch, with the exact per-message check
+/// order of the sequential `commit_round`.
 fn route_outbox<M: MessageSize>(
     shared: &PoolShared<'_, M>,
     from: NodeId,
@@ -317,32 +315,22 @@ fn route_outbox<M: MessageSize>(
         return;
     }
     let base = shared.graph.slot_range(from).start;
-    for OutMsg { slot: i, msg } in outbox.drain(..) {
-        if i == INVALID_SLOT {
-            report.error = Some(ExecutionError::NotANeighbor {
-                from,
-                to: invalid_to.expect("invalid slot without recorded target"),
-            });
-            return;
-        }
-        let bits = msg.size_bits();
-        report.max_message_bits = report.max_message_bits.max(bits);
-        if bits > shared.bandwidth {
-            report.violations += 1;
-            if shared.enforce {
-                report.error = Some(ExecutionError::BandwidthExceeded {
-                    from,
-                    bits,
-                    budget: shared.bandwidth,
-                });
-                return;
-            }
-        }
-        report.messages += 1;
-        report.bits = report.bits.saturating_add(bits as u64);
-        let dest = shared.topo.mirror[base + i as usize];
-        let owner = shared.topo.slot_owner[dest] as usize;
-        local_out[owner / shared.chunk].push((dest, msg));
+    let (topo, chunk) = (shared.topo, shared.chunk);
+    if let Err(e) = drain_outbox(
+        &topo.mirror,
+        base,
+        from,
+        outbox,
+        *invalid_to,
+        shared.bandwidth,
+        shared.enforce,
+        &mut report.acct,
+        |dest, msg| {
+            let owner = topo.slot_owner[dest] as usize;
+            local_out[owner / chunk].push((dest, msg));
+        },
+    ) {
+        report.error = Some(e);
     }
 }
 

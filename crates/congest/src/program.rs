@@ -6,7 +6,7 @@
 //! round, and each message is charged against the bandwidth budget. The
 //! executors that drive programs live in [`crate::engine`].
 
-use crate::message::MessageSize;
+use crate::message::{MessageSize, Wire};
 use crate::{Graph, NodeId};
 
 /// Read-only view of a node's environment handed to the node program.
@@ -60,8 +60,10 @@ pub struct Inbox<'a, M> {
 
 impl<'a, M> Inbox<'a, M> {
     /// Builds the view over a node's (sorted) neighbor slice and the matching
-    /// arena slots. Used by the engine and by tests.
-    pub(crate) fn over(senders: &'a [NodeId], slots: &'a [Option<M>]) -> Self {
+    /// arena slots. Part of the engine SPI: executors (including external
+    /// transport backends) construct inboxes from their delivered-message
+    /// arenas; programs only ever consume them.
+    pub fn over(senders: &'a [NodeId], slots: &'a [Option<M>]) -> Self {
         debug_assert_eq!(senders.len(), slots.len());
         Inbox { senders, slots }
     }
@@ -116,14 +118,17 @@ impl<'a, M> Inbox<'a, M> {
 /// to a non-neighbor — parks it in the outbox's invalid-target scratch
 /// instead of widening every message by 8 bytes.
 #[derive(Debug, Clone)]
-pub(crate) struct OutMsg<M> {
-    pub(crate) slot: u32,
-    pub(crate) msg: M,
+pub struct OutMsg<M> {
+    /// Target's position in the sender's CSR neighbor list, or
+    /// [`INVALID_SLOT`].
+    pub slot: u32,
+    /// The payload.
+    pub msg: M,
 }
 
 /// Sentinel slot for a send to a non-neighbor; the engine turns it into
 /// [`crate::engine::ExecutionError::NotANeighbor`] when the round commits.
-pub(crate) const INVALID_SLOT: u32 = u32::MAX;
+pub const INVALID_SLOT: u32 = u32::MAX;
 
 /// Staging area for the messages a node sends at the end of a round.
 ///
@@ -147,8 +152,9 @@ pub struct Outbox<'a, M> {
 
 impl<'a, M> Outbox<'a, M> {
     /// Wraps a reusable buffer (and invalid-target scratch) for the node
-    /// whose neighbor list is given.
-    pub(crate) fn over(
+    /// whose neighbor list is given. Part of the engine SPI, used by every
+    /// executor (including external transport backends) to stage sends.
+    pub fn over(
         neighbors: &'a [NodeId],
         buf: &'a mut Vec<OutMsg<M>>,
         invalid_to: &'a mut Option<NodeId>,
@@ -210,10 +216,16 @@ pub enum RoundAction<O> {
 /// All nodes run the same program type but each node owns its own instance
 /// (and therefore its own local state).
 pub trait NodeProgram {
-    /// Message type exchanged with neighbors.
-    type Message: Clone + MessageSize;
-    /// Local output produced when the node halts.
-    type Output: Clone;
+    /// Message type exchanged with neighbors. The [`Wire`] bound gives every
+    /// message a canonical byte encoding, so any program can run unchanged on
+    /// a transport backend that moves batches between node groups or OS
+    /// processes (see the `congest_transport` crate).
+    type Message: Clone + MessageSize + Wire;
+    /// Local output produced when the node halts. Outputs are [`Wire`] too:
+    /// multi-process backends ship each newly-halted node's output to the
+    /// peer so every participant assembles the same complete
+    /// [`crate::engine::RunReport`].
+    type Output: Clone + Wire;
 
     /// Called once before the first round; messages queued in `outbox` are
     /// delivered in round 1.

@@ -21,23 +21,23 @@ use crate::Graph;
 /// Immutable once built; shared across executors, phases and runs via
 /// [`Graph::topology`].
 #[derive(Debug)]
-pub(crate) struct TopologyCache {
+pub struct TopologyCache {
     /// `mirror[s]` is the reverse-direction twin of directed-edge slot `s`:
     /// for slot `s = slot_range(v).start + i` (the message *received by* `v`
     /// from its `i`-th neighbor `u`), `mirror[s]` is `u`'s slot for messages
     /// received from `v`. Sender-side writes go through this table.
-    pub(crate) mirror: Vec<usize>,
+    pub mirror: Vec<usize>,
     /// `slot_owner[s]` is the node whose CSR range contains slot `s`, i.e.
     /// the *receiver* of any message written to `s`. Node counts are bounded
     /// far below `u32::MAX` by the `u32` slot indices already used in
     /// [`crate::program::OutMsg`], so the narrow type is safe and halves the
     /// table's footprint.
-    pub(crate) slot_owner: Vec<u32>,
+    pub slot_owner: Vec<u32>,
 }
 
 impl TopologyCache {
     /// Builds the tables for `graph` in `O(m log Δ)`.
-    pub(crate) fn build(graph: &Graph) -> Self {
+    pub fn build(graph: &Graph) -> Self {
         let slots = graph.slot_count();
         let mut mirror = vec![0usize; slots];
         let mut slot_owner = vec![0u32; slots];

@@ -18,7 +18,7 @@
 use congest_sim::ledger::formulas;
 use congest_sim::{
     ExecutionError, Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeId,
-    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor,
+    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor, Wire,
 };
 
 /// Result of the greedy algorithm.
@@ -97,6 +97,42 @@ impl MessageSize for GreedyMessage {
     }
 }
 
+impl Wire for GreedyMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GreedyMessage::Covered(c) => {
+                out.push(0);
+                c.encode(out);
+            }
+            GreedyMessage::Span(s) => {
+                out.push(1);
+                s.encode(out);
+            }
+            GreedyMessage::Best { span, id } => {
+                out.push(2);
+                span.encode(out);
+                id.encode(out);
+            }
+            GreedyMessage::Joined => out.push(3),
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => GreedyMessage::Covered(bool::decode(buf, pos)?),
+            1 => GreedyMessage::Span(u64::decode(buf, pos)?),
+            2 => GreedyMessage::Best {
+                span: u64::decode(buf, pos)?,
+                id: u64::decode(buf, pos)?,
+            },
+            3 => GreedyMessage::Joined,
+            _ => return None,
+        })
+    }
+}
+
 /// Local output of [`GreedySpanProgram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GreedyNodeOutput {
@@ -104,6 +140,20 @@ pub struct GreedyNodeOutput {
     pub in_set: bool,
     /// Number of complete selection phases the node observed before halting.
     pub phases: u64,
+}
+
+impl Wire for GreedyNodeOutput {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.in_set.encode(out);
+        self.phases.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(GreedyNodeOutput {
+            in_set: bool::decode(buf, pos)?,
+            phases: u64::decode(buf, pos)?,
+        })
+    }
 }
 
 /// Per-node state machine of the distributed greedy (one selection phase per

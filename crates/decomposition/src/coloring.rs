@@ -44,7 +44,7 @@
 use congest_sim::ledger::formulas;
 use congest_sim::{
     ExecutionError, Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeId,
-    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor,
+    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor, Wire,
 };
 use mds_graphs::BipartiteGraph;
 
@@ -323,6 +323,35 @@ impl MessageSize for ColoringMessage {
             ColoringMessage::Announce { .. } => 1 + 64,
             ColoringMessage::Forbid { colors } => 1 + 64 * colors.len(),
         }
+    }
+}
+
+impl Wire for ColoringMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ColoringMessage::Announce { color } => {
+                out.push(0);
+                color.encode(out);
+            }
+            ColoringMessage::Forbid { colors } => {
+                out.push(1);
+                colors.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => ColoringMessage::Announce {
+                color: usize::decode(buf, pos)?,
+            },
+            1 => ColoringMessage::Forbid {
+                colors: Vec::<usize>::decode(buf, pos)?,
+            },
+            _ => return None,
+        })
     }
 }
 

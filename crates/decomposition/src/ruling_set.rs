@@ -23,7 +23,7 @@
 use congest_sim::ledger::formulas;
 use congest_sim::{
     ExecutionError, Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeId,
-    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor,
+    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor, Wire,
 };
 use std::collections::VecDeque;
 
@@ -113,6 +113,31 @@ impl MessageSize for RulingSetMessage {
     }
 }
 
+impl Wire for RulingSetMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RulingSetMessage::Best(id) => {
+                out.push(0);
+                id.encode(out);
+            }
+            RulingSetMessage::Block(h) => {
+                out.push(1);
+                h.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => RulingSetMessage::Best(u64::decode(buf, pos)?),
+            1 => RulingSetMessage::Block(u64::decode(buf, pos)?),
+            _ => return None,
+        })
+    }
+}
+
 /// Local output of [`RulingSetProgram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RulingSetNodeOutput {
@@ -121,6 +146,20 @@ pub struct RulingSetNodeOutput {
     /// The phase (1-based) in which the node was selected or blocked;
     /// `0` for nodes that were never candidates.
     pub resolved_phase: u64,
+}
+
+impl Wire for RulingSetNodeOutput {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.selected.encode(out);
+        self.resolved_phase.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(RulingSetNodeOutput {
+            selected: bool::decode(buf, pos)?,
+            resolved_phase: u64::decode(buf, pos)?,
+        })
+    }
 }
 
 /// Per-node state machine of the distributed `(α, α−1)`-ruling set. Each

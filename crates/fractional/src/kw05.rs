@@ -16,7 +16,7 @@ use crate::cfds::FractionalAssignment;
 use congest_sim::ledger::formulas;
 use congest_sim::{
     Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeProgram, Outbox,
-    RoundAction, RoundLedger, RunReport, SyncExecutor,
+    RoundAction, RoundLedger, RunReport, SyncExecutor, Wire,
 };
 
 /// Messages exchanged by [`Kw05Program`]: either the sender's current
@@ -37,6 +37,33 @@ impl MessageSize for Kw05Message {
             Kw05Message::Value(_) => 1 + 32,
             Kw05Message::Covered(_) => 2,
         }
+    }
+}
+
+/// Tag byte plus payload; the `f64` payload rides the bit-exact fixed-width
+/// encoding, so values survive transport backends unchanged.
+impl Wire for Kw05Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Kw05Message::Value(x) => {
+                out.push(0);
+                x.encode(out);
+            }
+            Kw05Message::Covered(c) => {
+                out.push(1);
+                c.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => Kw05Message::Value(f64::decode(buf, pos)?),
+            1 => Kw05Message::Covered(bool::decode(buf, pos)?),
+            _ => return None,
+        })
     }
 }
 

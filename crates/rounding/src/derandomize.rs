@@ -53,7 +53,7 @@ use crate::process::{execute_with_coins, RoundedOutcome};
 use congest_sim::ledger::formulas;
 use congest_sim::{
     ExecutionError, Executor, ExecutorConfig, Graph, Inbox, MessageSize, NodeContext, NodeId,
-    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor,
+    NodeProgram, Outbox, RoundAction, RoundLedger, RunReport, SyncExecutor, Wire,
 };
 use mds_fractional::FractionalAssignment;
 
@@ -261,6 +261,41 @@ impl MessageSize for DerandMessage {
     }
 }
 
+/// Tag byte plus payload. The estimator branches are `f64`s carried by the
+/// bit-exact fixed-width encoding — a requirement here, since the
+/// conditional-expectation comparisons are exact floating-point comparisons
+/// and any rounding in transit would change decisions.
+impl Wire for DerandMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DerandMessage::Reply { take, zero } => {
+                out.push(0);
+                take.encode(out);
+                zero.encode(out);
+            }
+            DerandMessage::Announce { take } => {
+                out.push(1);
+                take.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => DerandMessage::Reply {
+                take: f64::decode(buf, pos)?,
+                zero: f64::decode(buf, pos)?,
+            },
+            1 => DerandMessage::Announce {
+                take: bool::decode(buf, pos)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
 /// A member of a constraint, as tracked by the constraint's owner.
 #[derive(Debug, Clone)]
 struct MemberState {
@@ -333,6 +368,20 @@ pub struct ScheduledDerandOutput {
     /// Whether one of the node's own constraints ended up violated (the node
     /// then joins the dominating set in phase two).
     pub violated_owner: bool,
+}
+
+impl Wire for ScheduledDerandOutput {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.realised.encode(out);
+        self.violated_owner.encode(out);
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(ScheduledDerandOutput {
+            realised: f64::decode(buf, pos)?,
+            violated_owner: bool::decode(buf, pos)?,
+        })
+    }
 }
 
 /// Per-node state machine of the distributed conditional expectations.

@@ -1,0 +1,817 @@
+//! The sharded node-group backend: groups exchange serialized batches over
+//! `std::sync::mpsc` channels.
+//!
+//! Nodes are partitioned into `G` contiguous groups. Each group owns its
+//! slice of every per-node table and the contiguous receiver-side chunk of
+//! the message arena covering its nodes' CSR inbox ranges. Groups are
+//! multiplexed onto `T` worker threads (`T ≤ G`, several groups per thread),
+//! kept in lockstep by one reusable barrier — the same two-waits-per-round
+//! protocol as the engine's pooled executor, with one difference: committed
+//! cross-group messages do not move through in-process transfer cells but
+//! are *serialized*. A group's batch for another group is [`Wire`]-encoded
+//! as a `(destination slot, message)` list, wrapped in a checksummed
+//! [`frame`](crate::frame), and sent over the destination group's mpsc
+//! channel; the receiver decodes it back before writing its arena chunk.
+//! Intra-group messages skip the codec and go straight into the chunk.
+//!
+//! This exercises the full serialize → frame → deframe → deserialize path of
+//! the socket backend while staying single-process — which is exactly what
+//! makes it useful: any encoding defect that would desynchronize two OS
+//! processes shows up here as a bit-identity failure against `SyncExecutor`.
+//!
+//! # Round protocol
+//!
+//! 1. **execute + commit** — each thread runs its groups in group order.
+//!    For every live node the program runs, then the outbox drains through
+//!    the engine's shared [`drain_outbox`] primitive in node order: each
+//!    message is charged into the group's private `ShardRound` and routed
+//!    by destination group — own group into a typed local batch, other
+//!    groups into per-destination typed buffers. After a group's nodes are
+//!    done, each non-empty remote buffer is encoded and sent on that group's
+//!    channel, and the group's sub-totals are published.
+//! 2. **barrier A** — every send of the round happened before this wait, so
+//!    the mpsc queues are fully visible to the draining receivers after it.
+//! 3. **deliver / reduce** — each thread sparse-clears its groups' arena
+//!    chunks, writes the local batch, then drains each group's channel with
+//!    `try_iter`, decoding every frame into slot writes. Concurrently the
+//!    coordinator (thread 0) folds the published sub-totals in group order.
+//! 4. **barrier B** — workers read the coordinator's verdict and loop or
+//!    exit.
+//!
+//! # Why the report is bit-identical to `SyncExecutor`
+//!
+//! The argument is the pooled executor's, plus one codec step. Distinct
+//! senders write disjoint slots (the mirror table is a bijection), so the
+//! order in which a receiver drains batches from different sender groups is
+//! irrelevant. All messages for one slot come from exactly one sender node,
+//! hence travel in exactly one group's batch, in that sender's send order —
+//! "last write wins" picks the same message as the sequential commit. The
+//! codec itself is lossless ([`Wire`] round-trips every message bit-exactly,
+//! including `f64` payloads). Accounting folds in group order through the
+//! shared `Reducer`, and the lowest group's error is the
+//! first error in global node order.
+//!
+//! Frames that fail to decode here are a *bug*, not an input condition —
+//! the bytes never leave the process — so decoding panics instead of
+//! returning an error. The socket backend, whose bytes cross a real wire,
+//! surfaces the same failures as typed errors.
+
+use crate::frame::{decode_frame, encode_frame, FrameKind};
+use crate::reduce::{Reducer, ShardRound, Verdict};
+use congest_sim::engine::{
+    drain_outbox, ExecutionError, Executor, ExecutorConfig, RunReport, SyncExecutor,
+};
+use congest_sim::message::Wire;
+use congest_sim::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction};
+use congest_sim::topology::TopologyCache;
+use congest_sim::{Graph, NodeId};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Barrier, Mutex};
+use std::thread;
+
+/// Coordinator verdict: keep going.
+const CMD_RUN: u8 = 0;
+/// Coordinator verdict: exit the round loop.
+const CMD_STOP: u8 = 1;
+
+/// A serialized inter-group batch: `(sender group, framed bytes)`.
+type GroupFrame = (usize, Vec<u8>);
+
+/// A typed batch routed to one group: `(global arena slot, payload)` in
+/// sender order.
+type RoutedBatch<M> = Vec<(usize, M)>;
+
+/// The channel-backed executor. See the [module docs](self) for the protocol
+/// and the determinism argument.
+///
+/// Like every [`Executor`], it produces [`RunReport`]s bit-identical to
+/// [`SyncExecutor`] for any group count and thread count — the knobs are
+/// purely wall-clock (and, here, coverage of the serialization path).
+#[derive(Debug, Clone)]
+pub struct ChannelExecutor {
+    groups: usize,
+    threads: usize,
+}
+
+impl ChannelExecutor {
+    /// Creates an executor with `groups` node groups multiplexed onto
+    /// `threads` worker threads (both at least one; threads are capped at
+    /// the group count). With fewer than two non-empty groups the run
+    /// degenerates to the sequential engine — same report, no channels.
+    pub fn new(groups: usize, threads: usize) -> Self {
+        ChannelExecutor {
+            groups: groups.max(1),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured number of node groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The configured number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Executor for ChannelExecutor {
+    fn run<P>(
+        &self,
+        graph: &Graph,
+        programs: Vec<P>,
+        config: &ExecutorConfig,
+    ) -> Result<RunReport<P::Output>, ExecutionError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+    {
+        let n = graph.n();
+        let chunk = n.div_ceil(self.groups).max(1);
+        let groups = if n == 0 { 1 } else { n.div_ceil(chunk) };
+        if groups <= 1 {
+            return SyncExecutor.run(graph, programs, config);
+        }
+        run_channel(graph, programs, config, groups, chunk, self.threads)
+    }
+}
+
+/// State shared (read-only or synchronized) by all worker threads of one run.
+struct ChanShared<'g> {
+    graph: &'g Graph,
+    topo: &'g TopologyCache,
+    /// Number of node groups.
+    groups: usize,
+    /// Nodes per group (the last group may be smaller).
+    chunk: usize,
+    bandwidth: usize,
+    enforce: bool,
+    /// One reusable barrier, waited on twice per round (A and B).
+    barrier: Barrier,
+    /// Per-group published `ShardRound` sub-totals.
+    published: Vec<Mutex<ShardRound>>,
+    /// The coordinator's verdict, written between barriers A and B and read
+    /// by workers only after B.
+    command: AtomicU8,
+}
+
+/// One group's slice of the run state plus its receiving channel end.
+struct GroupBlock<'a, P: NodeProgram> {
+    /// Group index.
+    group: usize,
+    /// First node of the group.
+    first: usize,
+    /// First arena slot of the group's chunk.
+    slot_base: usize,
+    programs: &'a mut [P],
+    halted: &'a mut [bool],
+    outputs: &'a mut [Option<P::Output>],
+    pending: &'a mut [Vec<OutMsg<P::Message>>],
+    invalid: &'a mut [Option<NodeId>],
+    /// The arena slots covering every inbox of the group's nodes.
+    cur: &'a mut [Option<P::Message>],
+    /// This group's incoming serialized batches.
+    rx: Receiver<GroupFrame>,
+}
+
+/// A group's mutable per-round scratch owned by its worker thread.
+struct GroupScratch<M> {
+    /// Occupied local slots of the group's arena chunk (for sparse clears).
+    cur_written: Vec<usize>,
+    /// Per-destination-group typed batches; index `group` holds the
+    /// intra-group batch that never touches the codec.
+    outs: Vec<RoutedBatch<M>>,
+}
+
+/// Routes one node's committed outbox: charges through the engine's shared
+/// [`drain_outbox`] primitive and pushes `(slot, msg)` into the destination
+/// group's typed buffer.
+fn route_outbox<P: NodeProgram>(
+    shared: &ChanShared<'_>,
+    from: NodeId,
+    outbox: &mut Vec<OutMsg<P::Message>>,
+    invalid_to: &Option<NodeId>,
+    outs: &mut [RoutedBatch<P::Message>],
+    report: &mut ShardRound,
+) {
+    if report.error.is_some() {
+        // A lower node of this group already errored; everything after it is
+        // discarded with the report, so don't route or charge.
+        outbox.clear();
+        return;
+    }
+    let base = shared.graph.slot_range(from).start;
+    let (topo, chunk) = (shared.topo, shared.chunk);
+    if let Err(e) = drain_outbox(
+        &topo.mirror,
+        base,
+        from,
+        outbox,
+        *invalid_to,
+        shared.bandwidth,
+        shared.enforce,
+        &mut report.acct,
+        |dest, msg| {
+            let owner = topo.slot_owner[dest] as usize / chunk;
+            outs[owner].push((dest, msg));
+        },
+    ) {
+        report.error = Some(e);
+    }
+}
+
+/// Serializes and sends this group's remote batches, one frame per non-empty
+/// destination, and publishes the group's sub-totals. The intra-group batch
+/// (`outs[group]`) stays typed for the deliver phase.
+fn flush_and_publish<M: Wire>(
+    shared: &ChanShared<'_>,
+    group: usize,
+    outs: &mut [RoutedBatch<M>],
+    txs: &[Sender<GroupFrame>],
+    report: ShardRound,
+) {
+    for (dest, batch) in outs.iter_mut().enumerate() {
+        if dest == group || batch.is_empty() {
+            continue;
+        }
+        let mut payload = Vec::new();
+        batch.encode(&mut payload);
+        batch.clear();
+        let mut framed = Vec::new();
+        encode_frame(FrameKind::Round, &payload, &mut framed);
+        // Every thread holds its receivers until it exits after barrier B of
+        // the final round, and sends only happen before barrier A — so the
+        // receiving end is always alive here.
+        txs[dest]
+            .send((group, framed))
+            .expect("receiver group alive");
+    }
+    *shared.published[group].lock().expect("publish lock") = report;
+}
+
+/// Sparse-clears the group's arena chunk, writes the intra-group batch, then
+/// drains and decodes every serialized batch from the group's channel. The
+/// drain order across sender groups is irrelevant: distinct senders write
+/// disjoint slots.
+fn deliver<P: NodeProgram>(block: &mut GroupBlock<'_, P>, scratch: &mut GroupScratch<P::Message>) {
+    let GroupScratch { cur_written, outs } = scratch;
+    for &s in cur_written.iter() {
+        block.cur[s] = None;
+    }
+    cur_written.clear();
+    let slot_base = block.slot_base;
+    let cur = &mut *block.cur;
+    let mut write = |slot: usize, msg: P::Message| {
+        let local = slot - slot_base;
+        if cur[local].replace(msg).is_none() {
+            cur_written.push(local);
+        }
+    };
+    for (slot, msg) in outs[block.group].drain(..) {
+        write(slot, msg);
+    }
+    for (_from, bytes) in block.rx.try_iter() {
+        let (kind, payload) =
+            decode_frame(&bytes, &mut 0).expect("in-process frame is well-formed");
+        debug_assert_eq!(kind, FrameKind::Round);
+        let mut pos = 0;
+        let batch = Vec::<(usize, P::Message)>::decode(payload, &mut pos)
+            .expect("in-process batch decodes");
+        debug_assert_eq!(pos, payload.len());
+        for (slot, msg) in batch {
+            write(slot, msg);
+        }
+    }
+}
+
+/// Runs `init` (round 0) for every node of the group and routes the commits.
+fn init_group<P: NodeProgram>(
+    shared: &ChanShared<'_>,
+    block: &mut GroupBlock<'_, P>,
+    outs: &mut [RoutedBatch<P::Message>],
+) -> ShardRound {
+    let graph = shared.graph;
+    let mut report = ShardRound::default();
+    for i in 0..block.programs.len() {
+        let v = NodeId(block.first + i);
+        let ctx = NodeContext {
+            id: v,
+            graph,
+            round: 0,
+        };
+        let mut outbox = Outbox::over(
+            graph.neighbors(v),
+            &mut block.pending[i],
+            &mut block.invalid[i],
+        );
+        block.programs[i].init(&ctx, &mut outbox);
+        route_outbox::<P>(
+            shared,
+            v,
+            &mut block.pending[i],
+            &block.invalid[i],
+            outs,
+            &mut report,
+        );
+    }
+    report
+}
+
+/// Runs one round for every live node of the group and routes the commits.
+fn run_group_round<P: NodeProgram>(
+    shared: &ChanShared<'_>,
+    block: &mut GroupBlock<'_, P>,
+    round: u64,
+    outs: &mut [RoutedBatch<P::Message>],
+) -> ShardRound {
+    let graph = shared.graph;
+    let mut report = ShardRound::default();
+    for i in 0..block.programs.len() {
+        if block.halted[i] {
+            continue;
+        }
+        let v = NodeId(block.first + i);
+        let ctx = NodeContext {
+            id: v,
+            graph,
+            round,
+        };
+        let range = graph.slot_range(v);
+        let inbox = Inbox::over(
+            graph.neighbors(v),
+            &block.cur[range.start - block.slot_base..range.end - block.slot_base],
+        );
+        block.pending[i].clear();
+        block.invalid[i] = None;
+        let mut outbox = Outbox::over(
+            graph.neighbors(v),
+            &mut block.pending[i],
+            &mut block.invalid[i],
+        );
+        match block.programs[i].round(&ctx, &inbox, &mut outbox) {
+            RoundAction::Continue => {}
+            RoundAction::Halt(out) => {
+                block.outputs[i] = Some(out);
+                block.halted[i] = true;
+                report.newly_halted += 1;
+                block.pending[i].clear();
+            }
+        }
+        route_outbox::<P>(
+            shared,
+            v,
+            &mut block.pending[i],
+            &block.invalid[i],
+            outs,
+            &mut report,
+        );
+    }
+    report
+}
+
+/// One worker thread's loop over its assigned groups. Thread 0 additionally
+/// folds the published sub-totals between the barriers.
+fn channel_worker<P: NodeProgram>(
+    shared: &ChanShared<'_>,
+    mut blocks: Vec<GroupBlock<'_, P>>,
+    txs: Vec<Sender<GroupFrame>>,
+    mut reducer: Option<&mut Reducer<'_>>,
+) {
+    let mut scratch: Vec<GroupScratch<P::Message>> = blocks
+        .iter()
+        .map(|_| GroupScratch {
+            cur_written: Vec::new(),
+            outs: (0..shared.groups).map(|_| Vec::new()).collect(),
+        })
+        .collect();
+
+    // Round 0: init + commit, in group order.
+    for (block, sc) in blocks.iter_mut().zip(scratch.iter_mut()) {
+        let report = init_group(shared, block, &mut sc.outs);
+        flush_and_publish(shared, block.group, &mut sc.outs, &txs, report);
+    }
+
+    let mut round = 0u64;
+    loop {
+        shared.barrier.wait(); // A: all commits of this round are flushed.
+        if let Some(r) = reducer.as_deref_mut() {
+            let verdict = r.fold_round(
+                shared
+                    .published
+                    .iter()
+                    .map(|cell| std::mem::take(&mut *cell.lock().expect("publish lock"))),
+            );
+            if verdict == Verdict::Stop {
+                shared.command.store(CMD_STOP, Ordering::Release);
+            }
+        }
+        for (block, sc) in blocks.iter_mut().zip(scratch.iter_mut()) {
+            deliver(block, sc);
+        }
+        shared.barrier.wait(); // B: delivery done, verdict published.
+        if shared.command.load(Ordering::Acquire) == CMD_STOP {
+            break;
+        }
+        round += 1;
+
+        for (block, sc) in blocks.iter_mut().zip(scratch.iter_mut()) {
+            let report = run_group_round(shared, block, round, &mut sc.outs);
+            flush_and_publish(shared, block.group, &mut sc.outs, &txs, report);
+        }
+    }
+}
+
+/// Runs `programs` over `groups >= 2` node groups on up to `threads` worker
+/// threads. See the module docs for the protocol.
+fn run_channel<P>(
+    graph: &Graph,
+    mut programs: Vec<P>,
+    config: &ExecutorConfig,
+    groups: usize,
+    chunk: usize,
+    threads: usize,
+) -> Result<RunReport<P::Output>, ExecutionError>
+where
+    P: NodeProgram + Send,
+    P::Message: Send + Sync,
+    P::Output: Send,
+{
+    let n = graph.n();
+    if programs.len() != n {
+        return Err(ExecutionError::ProgramCountMismatch {
+            programs: programs.len(),
+            nodes: n,
+        });
+    }
+    let bandwidth = config
+        .bandwidth_bits
+        .unwrap_or_else(|| congest_sim::congest_bandwidth_bits(n));
+    // Multiplex groups onto threads: contiguous runs of `per_thread` groups.
+    let thread_count = threads.clamp(1, groups);
+    let per_thread = groups.div_ceil(thread_count);
+    let thread_count = groups.div_ceil(per_thread);
+
+    let topo = graph.topology();
+    let shared = ChanShared {
+        graph,
+        topo,
+        groups,
+        chunk,
+        bandwidth,
+        enforce: config.enforce_bandwidth,
+        barrier: Barrier::new(thread_count),
+        published: (0..groups)
+            .map(|_| Mutex::new(ShardRound::default()))
+            .collect(),
+        command: AtomicU8::new(CMD_RUN),
+    };
+
+    // One channel per group; every thread holds senders to all groups.
+    let mut txs: Vec<Sender<GroupFrame>> = Vec::with_capacity(groups);
+    let mut rxs: Vec<Receiver<GroupFrame>> = Vec::with_capacity(groups);
+    for _ in 0..groups {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut halted = vec![false; n];
+    let mut pending: Vec<Vec<OutMsg<P::Message>>> = graph
+        .nodes()
+        .map(|v| Vec::with_capacity(graph.degree(v)))
+        .collect();
+    let mut invalid: Vec<Option<NodeId>> = vec![None; n];
+    // The delivered-message arena; carved into per-group chunks below. The
+    // mpsc channels play the role of the sequential engine's write side.
+    let mut cur: Vec<Option<P::Message>> = std::iter::repeat_with(|| None)
+        .take(graph.slot_count())
+        .collect();
+
+    let mut reducer = Reducer::new(config, n);
+
+    let shared_ref = &shared;
+    thread::scope(|s| {
+        // Carve the flat state into per-group blocks: node-indexed tables by
+        // `chunk`, the arena at the matching CSR boundaries.
+        let mut blocks: Vec<GroupBlock<'_, P>> = Vec::with_capacity(groups);
+        let mut cur_rest: &mut [Option<P::Message>] = &mut cur;
+        let mut carved = 0usize;
+        let mut rx_iter = rxs.into_iter();
+        let node_tables = programs
+            .chunks_mut(chunk)
+            .zip(halted.chunks_mut(chunk))
+            .zip(outputs.chunks_mut(chunk))
+            .zip(pending.chunks_mut(chunk))
+            .zip(invalid.chunks_mut(chunk))
+            .enumerate();
+        for (g, ((((progs, halts), outs), pends), invs)) in node_tables {
+            let first = g * chunk;
+            let last = first + progs.len();
+            let hi = if last == n {
+                graph.slot_count()
+            } else {
+                graph.slot_range(NodeId(last)).start
+            };
+            let (mine, rest) = cur_rest.split_at_mut(hi - carved);
+            cur_rest = rest;
+            blocks.push(GroupBlock {
+                group: g,
+                first,
+                slot_base: carved,
+                programs: progs,
+                halted: halts,
+                outputs: outs,
+                pending: pends,
+                invalid: invs,
+                cur: mine,
+                rx: rx_iter.next().expect("one receiver per group"),
+            });
+            carved = hi;
+        }
+        // Distribute contiguous runs of groups to threads; thread 0 (the
+        // calling thread) runs the first run and coordinates.
+        let mut per_thread_blocks: Vec<Vec<GroupBlock<'_, P>>> =
+            (0..thread_count).map(|_| Vec::new()).collect();
+        for (g, block) in blocks.into_iter().enumerate() {
+            per_thread_blocks[g / per_thread].push(block);
+        }
+        let mut iter = per_thread_blocks.into_iter();
+        let blocks0 = iter.next().expect("thread 0 owns the first groups");
+        for thread_blocks in iter {
+            let thread_txs = txs.clone();
+            s.spawn(move || channel_worker::<P>(shared_ref, thread_blocks, thread_txs, None));
+        }
+        channel_worker::<P>(shared_ref, blocks0, txs, Some(&mut reducer));
+    });
+
+    if let Some(e) = reducer.error.take() {
+        return Err(e);
+    }
+    reducer.into_report(
+        outputs
+            .into_iter()
+            .map(|o| o.expect("halted node has output"))
+            .collect(),
+        bandwidth,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Min-id flood with staggered halting, as in the engine's own tests.
+    struct MinId {
+        best: usize,
+        rounds: u64,
+    }
+
+    impl NodeProgram for MinId {
+        type Message = NodeId;
+        type Output = usize;
+
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, NodeId>) {
+            self.best = ctx.id.0;
+            outbox.broadcast(NodeId(self.best));
+        }
+
+        fn round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &Inbox<'_, NodeId>,
+            outbox: &mut Outbox<'_, NodeId>,
+        ) -> RoundAction<usize> {
+            for (_, m) in inbox.iter() {
+                self.best = self.best.min(m.0);
+            }
+            if ctx.round >= self.rounds + (ctx.id.0 % 3) as u64 {
+                RoundAction::Halt(self.best)
+            } else {
+                outbox.broadcast(NodeId(self.best));
+                RoundAction::Continue
+            }
+        }
+    }
+
+    fn min_id_programs(n: usize, rounds: u64) -> Vec<MinId> {
+        (0..n)
+            .map(|_| MinId {
+                best: usize::MAX,
+                rounds,
+            })
+            .collect()
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn channel_matches_sequential_bit_for_bit() {
+        let g = path_graph(23);
+        let seq = SyncExecutor
+            .run(&g, min_id_programs(23, 25), &ExecutorConfig::default())
+            .unwrap();
+        for groups in [2usize, 3, 5, 8, 23, 64] {
+            for threads in [1usize, 2, 4] {
+                let chan = ChannelExecutor::new(groups, threads)
+                    .run(&g, min_id_programs(23, 25), &ExecutorConfig::default())
+                    .unwrap();
+                assert_eq!(seq, chan, "groups={groups} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_the_sequential_path() {
+        let g = Graph::empty(0);
+        let report = ChannelExecutor::new(4, 2)
+            .run(&g, Vec::<MinId>::new(), &ExecutorConfig::default())
+            .unwrap();
+        assert_eq!(report.rounds, 0);
+
+        let g = path_graph(3);
+        let err = ChannelExecutor::new(4, 2)
+            .run(&g, Vec::<MinId>::new(), &ExecutorConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ExecutionError::ProgramCountMismatch { .. }));
+    }
+
+    /// Sends to a non-neighbor at a configurable node and round.
+    struct BadSender {
+        bad_node: usize,
+        bad_round: u64,
+    }
+    impl NodeProgram for BadSender {
+        type Message = usize;
+        type Output = ();
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, usize>) {
+            if ctx.id.0 == self.bad_node && self.bad_round == 0 {
+                outbox.send(NodeId(ctx.id.0 + 2), 1);
+            }
+        }
+        fn round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            _: &Inbox<'_, usize>,
+            outbox: &mut Outbox<'_, usize>,
+        ) -> RoundAction<()> {
+            if ctx.id.0 == self.bad_node && self.bad_round == ctx.round {
+                outbox.send(NodeId(ctx.id.0 + 2), 1);
+            }
+            if ctx.round >= 3 {
+                RoundAction::Halt(())
+            } else {
+                RoundAction::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn first_error_matches_sequential_from_any_group() {
+        let g = path_graph(12);
+        for bad_node in [0usize, 5, 9] {
+            for bad_round in [0u64, 2] {
+                let mk = || {
+                    (0..12)
+                        .map(|_| BadSender {
+                            bad_node,
+                            bad_round,
+                        })
+                        .collect::<Vec<_>>()
+                };
+                let seq = SyncExecutor
+                    .run(&g, mk(), &ExecutorConfig::default())
+                    .unwrap_err();
+                for groups in [2usize, 3, 6] {
+                    for threads in [1usize, 3] {
+                        let chan = ChannelExecutor::new(groups, threads)
+                            .run(&g, mk(), &ExecutorConfig::default())
+                            .unwrap_err();
+                        assert_eq!(
+                            seq, chan,
+                            "bad_node={bad_node} groups={groups} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    struct NeverHalts;
+    impl NodeProgram for NeverHalts {
+        type Message = ();
+        type Output = ();
+        fn init(&mut self, _: &NodeContext<'_>, _: &mut Outbox<'_, ()>) {}
+        fn round(
+            &mut self,
+            _: &NodeContext<'_>,
+            _: &Inbox<'_, ()>,
+            _: &mut Outbox<'_, ()>,
+        ) -> RoundAction<()> {
+            RoundAction::Continue
+        }
+    }
+
+    #[test]
+    fn round_limit_matches_sequential() {
+        let g = path_graph(6);
+        let config = ExecutorConfig {
+            max_rounds: 10,
+            ..ExecutorConfig::default()
+        };
+        let mk = || (0..6).map(|_| NeverHalts).collect::<Vec<_>>();
+        let seq = SyncExecutor.run(&g, mk(), &config).unwrap_err();
+        let chan = ChannelExecutor::new(3, 2)
+            .run(&g, mk(), &config)
+            .unwrap_err();
+        assert_eq!(seq, chan);
+    }
+
+    /// Only odd nodes exceed the budget, so violation counts (not just the
+    /// first error) must line up.
+    struct FatMessage;
+    impl NodeProgram for FatMessage {
+        type Message = Vec<u64>;
+        type Output = ();
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, Vec<u64>>) {
+            if ctx.id.0 % 2 == 1 {
+                outbox.broadcast(vec![0u64; 64]);
+            } else {
+                outbox.broadcast(vec![0u64; 1]);
+            }
+        }
+        fn round(
+            &mut self,
+            _: &NodeContext<'_>,
+            _: &Inbox<'_, Vec<u64>>,
+            _: &mut Outbox<'_, Vec<u64>>,
+        ) -> RoundAction<()> {
+            RoundAction::Halt(())
+        }
+    }
+
+    #[test]
+    fn bandwidth_counting_and_enforcement_match_sequential() {
+        let g = path_graph(8);
+        let mk = || (0..8).map(|_| FatMessage).collect::<Vec<_>>();
+        let seq = SyncExecutor
+            .run(&g, mk(), &ExecutorConfig::default())
+            .unwrap();
+        assert!(seq.bandwidth_violations > 0);
+        let chan = ChannelExecutor::new(4, 2)
+            .run(&g, mk(), &ExecutorConfig::default())
+            .unwrap();
+        assert_eq!(seq, chan);
+        let seq = SyncExecutor
+            .run(&g, mk(), &ExecutorConfig::strict_congest())
+            .unwrap_err();
+        let chan = ChannelExecutor::new(4, 2)
+            .run(&g, mk(), &ExecutorConfig::strict_congest())
+            .unwrap_err();
+        assert_eq!(seq, chan);
+    }
+
+    /// Duplicate sends in one round: last message wins, both charged — the
+    /// serialized batch preserves send order across the codec.
+    struct DoubleSender {
+        heard: Option<u32>,
+    }
+    impl NodeProgram for DoubleSender {
+        type Message = u32;
+        type Output = Option<u32>;
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, u32>) {
+            if ctx.id.0 == 0 {
+                outbox.send(NodeId(1), 7);
+                outbox.send(NodeId(1), 9);
+            }
+        }
+        fn round(
+            &mut self,
+            _: &NodeContext<'_>,
+            inbox: &Inbox<'_, u32>,
+            _: &mut Outbox<'_, u32>,
+        ) -> RoundAction<Option<u32>> {
+            if let Some(&m) = inbox.from(NodeId(0)) {
+                self.heard = Some(m);
+            }
+            RoundAction::Halt(self.heard)
+        }
+    }
+
+    #[test]
+    fn duplicate_sends_keep_the_last_message_across_the_codec() {
+        let g = path_graph(2);
+        let programs: Vec<_> = (0..2).map(|_| DoubleSender { heard: None }).collect();
+        let report = ChannelExecutor::new(2, 2)
+            .run(&g, programs, &ExecutorConfig::default())
+            .unwrap();
+        assert_eq!(report.outputs[1], Some(9));
+        assert_eq!(report.messages, 2, "both sends are charged");
+    }
+}

@@ -1,0 +1,952 @@
+//! The socket backend: one run split across two OS processes over loopback
+//! TCP, bit-identical to `SyncExecutor` on *both* sides.
+//!
+//! # Replicated control plane
+//!
+//! Both processes load the same graph and build all `n` programs, but each
+//! *executes* only its own contiguous block: the **leader** owns nodes
+//! `[0, split)`, the **follower** owns `[split, n)`, with
+//! `split = ceil(n / 2)`. Per round, each side ships the peer a single
+//! checksummed frame (see [`crate::frame`]) carrying everything the peer
+//! cannot compute locally — its accounting sub-totals, its newly-halted
+//! nodes' outputs, its first error, and the cross-shard `(slot, message)`
+//! batch ([`RoundPayload`]). Each side then folds `[leader, follower]`
+//! sub-totals through the shared `Reducer` — the same fold
+//! the in-process executors perform in block order — so both processes
+//! assemble the *complete*, identical [`RunReport`] without a separate
+//! coordinator process. The round barrier is the exchange itself: neither
+//! side can advance past round `r` before holding the peer's round-`r`
+//! frame.
+//!
+//! # Deadlock freedom and failure surface
+//!
+//! Each session runs a dedicated reader thread that drains the socket into
+//! an in-process queue, so the main thread's writes can never deadlock
+//! against an unread inbound frame regardless of frame sizes. Every failure
+//! mode on the wire — truncation, corruption (checksum), version or
+//! topology skew (handshake), round desync, a peer that vanished, a stalled
+//! peer (timeout) — surfaces as a typed [`TransportError`] from
+//! [`SocketSession::run_program`], never a panic. Program misbehavior
+//! (non-neighbor send, enforced bandwidth overrun, round limit) folds
+//! through the reducer exactly as in-process and comes back as
+//! [`TransportError::Execution`] on **both** sides.
+//!
+//! A session persists across runs: a composed pipeline issues one
+//! `Executor::run` per phase, and every phase re-handshakes and reuses the
+//! same connection, so a full measured Theorem 1.2 pipeline works across
+//! two processes (see `examples/socket_pipeline.rs`).
+//!
+//! [`RunReport`]: congest_sim::RunReport
+
+use crate::frame::{read_frame, write_frame, FrameError, FrameKind};
+use crate::proto::{Hello, RoundPayload, PROTOCOL_VERSION};
+use crate::reduce::{Reducer, ShardRound, Verdict};
+use crate::TransportError;
+use congest_sim::engine::{
+    ArenaDelivery, Delivery, ExecutionError, Executor, ExecutorConfig, RunReport,
+};
+use congest_sim::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction};
+use congest_sim::{Graph, NodeId};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::Mutex;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Which block of nodes this process executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Owns nodes `[0, split)`; its sub-totals fold first.
+    Leader,
+    /// Owns nodes `[split, n)`.
+    Follower,
+}
+
+/// What the reader thread hands the session per frame.
+type FrameResult = Result<(FrameKind, Vec<u8>), FrameError>;
+
+/// An established connection to the peer process, plus the reader thread
+/// draining it.
+pub struct SocketSession {
+    writer: TcpStream,
+    inbound: Receiver<FrameResult>,
+    reader: Option<JoinHandle<()>>,
+    timeout: Duration,
+}
+
+impl SocketSession {
+    /// Default per-frame receive timeout; generous so CI machines under load
+    /// do not produce spurious desyncs.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(120);
+
+    fn from_stream(stream: TcpStream) -> Result<SocketSession, TransportError> {
+        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        let mut read_half = stream.try_clone().map_err(FrameError::Io)?;
+        let (tx, inbound) = channel();
+        let reader = thread::spawn(move || loop {
+            match read_frame(&mut read_half) {
+                Ok(frame) => {
+                    if tx.send(Ok(frame)).is_err() {
+                        break; // Session dropped; stop reading.
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
+            }
+        });
+        Ok(SocketSession {
+            writer: stream,
+            inbound,
+            reader: Some(reader),
+            timeout: Self::DEFAULT_TIMEOUT,
+        })
+    }
+
+    /// Connects to a listening peer, retrying until `retry_for` elapses (the
+    /// listener may not be up yet when two processes start concurrently).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        retry_for: Duration,
+    ) -> Result<SocketSession, TransportError> {
+        let deadline = Instant::now() + retry_for;
+        loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => return SocketSession::from_stream(stream),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Frame(FrameError::Io(e)));
+                    }
+                    thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Overrides the per-frame receive timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    fn send(&mut self, kind: FrameKind, payload: &[u8]) -> Result<(), TransportError> {
+        let mut w = &self.writer;
+        write_frame(&mut w, kind, payload)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<(FrameKind, Vec<u8>), TransportError> {
+        match self.inbound.recv_timeout(self.timeout) {
+            Ok(Ok(frame)) => Ok(frame),
+            Ok(Err(e)) => Err(TransportError::Frame(e)),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Frame(FrameError::Closed)),
+        }
+    }
+
+    /// Runs `programs` on `graph` jointly with the peer process; this side
+    /// executes the block its `role` names. Both sides return the same
+    /// complete [`RunReport`] (or the same [`ExecutionError`] wrapped in
+    /// [`TransportError::Execution`]).
+    ///
+    /// # Errors
+    ///
+    /// Any wire-level failure — corruption, truncation, handshake or
+    /// configuration skew, round desync, timeout, a closed peer — is a typed
+    /// [`TransportError`]; the method never panics on peer input.
+    pub fn run_program<P: NodeProgram>(
+        &mut self,
+        role: Role,
+        graph: &Graph,
+        programs: Vec<P>,
+        config: &ExecutorConfig,
+    ) -> Result<RunReport<P::Output>, TransportError> {
+        run_session(self, role, graph, programs, config)
+    }
+}
+
+impl Drop for SocketSession {
+    fn drop(&mut self) {
+        let _ = self.writer.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// A bound listener waiting for the peer process; split from
+/// [`SocketSession`] so callers can learn an ephemerally-bound port before
+/// the blocking accept.
+pub struct SocketListener {
+    inner: TcpListener,
+}
+
+impl SocketListener {
+    /// Binds to `addr` (use port `0` for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<SocketListener, TransportError> {
+        Ok(SocketListener {
+            inner: TcpListener::bind(addr).map_err(FrameError::Io)?,
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, TransportError> {
+        Ok(self.inner.local_addr().map_err(FrameError::Io)?)
+    }
+
+    /// Blocks until the peer connects and returns the established session.
+    pub fn accept(self) -> Result<SocketSession, TransportError> {
+        let (stream, _) = self.inner.accept().map_err(FrameError::Io)?;
+        SocketSession::from_stream(stream)
+    }
+}
+
+/// Where a [`SocketExecutor`] gets its connection from.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    /// Bind and accept; this process is usually the [`Role::Leader`].
+    Listen(String),
+    /// Connect (with retry); this process is usually the [`Role::Follower`].
+    Connect(String),
+}
+
+/// An [`Executor`] running every `run` jointly with a peer process over a
+/// persistent loopback-TCP session.
+///
+/// The first `run` establishes the connection (bind-and-accept for
+/// [`SocketExecutor::listen`], connect-with-retry for
+/// [`SocketExecutor::connect`]); later runs — e.g. the phases of a composed
+/// pipeline — re-handshake over the same socket. Reports are bit-identical
+/// to `SyncExecutor` on both sides.
+///
+/// Program errors surface as [`ExecutionError`] like any executor. A
+/// wire-level failure has no representation in the [`Executor`] contract, so
+/// it aborts the process with a panic naming the typed error; callers that
+/// need to handle transport faults programmatically use
+/// [`SocketSession::run_program`] directly.
+pub struct SocketExecutor {
+    /// `None` when the executor was built over an already-established session
+    /// ([`SocketExecutor::from_session`]): there is nothing to reconnect to.
+    endpoint: Option<Endpoint>,
+    role: Role,
+    timeout: Duration,
+    session: Mutex<Option<SocketSession>>,
+}
+
+impl SocketExecutor {
+    /// A leader executor: binds `addr` and waits for the follower.
+    pub fn listen(addr: impl Into<String>) -> SocketExecutor {
+        SocketExecutor {
+            endpoint: Some(Endpoint::Listen(addr.into())),
+            role: Role::Leader,
+            timeout: SocketSession::DEFAULT_TIMEOUT,
+            session: Mutex::new(None),
+        }
+    }
+
+    /// A follower executor: connects to the leader at `addr`, retrying while
+    /// the leader starts up.
+    pub fn connect(addr: impl Into<String>) -> SocketExecutor {
+        SocketExecutor {
+            endpoint: Some(Endpoint::Connect(addr.into())),
+            role: Role::Follower,
+            timeout: SocketSession::DEFAULT_TIMEOUT,
+            session: Mutex::new(None),
+        }
+    }
+
+    /// Wraps an already-established session — e.g. one accepted from an
+    /// ephemerally-bound [`SocketListener`], whose port the peer learned out
+    /// of band. A session lost to a transport failure is not re-established
+    /// (the executor has no address to reconnect to); later runs fail with a
+    /// typed protocol error.
+    pub fn from_session(role: Role, session: SocketSession) -> SocketExecutor {
+        SocketExecutor {
+            endpoint: None,
+            role,
+            timeout: session.timeout,
+            session: Mutex::new(Some(session)),
+        }
+    }
+
+    /// Overrides the per-frame receive timeout (and the connect retry
+    /// window).
+    pub fn with_timeout(mut self, timeout: Duration) -> SocketExecutor {
+        self.timeout = timeout;
+        if let Some(session) = self.session.get_mut().expect("session lock").as_mut() {
+            session.set_timeout(timeout);
+        }
+        self
+    }
+
+    /// This process's role, determined by how the executor was built.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The typed-error twin of [`Executor::run`]: wire-level failures come
+    /// back as [`TransportError`] values instead of aborting.
+    pub fn run_transport<P: NodeProgram>(
+        &self,
+        graph: &Graph,
+        programs: Vec<P>,
+        config: &ExecutorConfig,
+    ) -> Result<RunReport<P::Output>, TransportError> {
+        let mut guard = self.session.lock().expect("session lock");
+        if guard.is_none() {
+            let Some(endpoint) = &self.endpoint else {
+                return Err(TransportError::Protocol(
+                    "the pre-established session was lost to an earlier transport failure"
+                        .to_string(),
+                ));
+            };
+            let mut session = match endpoint {
+                Endpoint::Listen(addr) => SocketListener::bind(addr.as_str())?.accept()?,
+                Endpoint::Connect(addr) => SocketSession::connect(addr.as_str(), self.timeout)?,
+            };
+            session.set_timeout(self.timeout);
+            *guard = Some(session);
+        }
+        let session = guard.as_mut().expect("session established above");
+        let result = session.run_program(self.role(), graph, programs, config);
+        if matches!(&result, Err(e) if !matches!(e, TransportError::Execution(_))) {
+            // The connection is desynchronized or dead; drop it so a later
+            // run re-establishes instead of exchanging garbage.
+            *guard = None;
+        }
+        result
+    }
+}
+
+impl Executor for SocketExecutor {
+    fn run<P>(
+        &self,
+        graph: &Graph,
+        programs: Vec<P>,
+        config: &ExecutorConfig,
+    ) -> Result<RunReport<P::Output>, ExecutionError>
+    where
+        P: NodeProgram + Send,
+        P::Message: Send + Sync,
+        P::Output: Send,
+    {
+        match self.run_transport(graph, programs, config) {
+            Ok(report) => Ok(report),
+            Err(TransportError::Execution(e)) => Err(e),
+            Err(e) => panic!("socket transport failure: {e}"),
+        }
+    }
+}
+
+/// The per-run state of this side's shard.
+struct Shard<'g, P: NodeProgram> {
+    graph: &'g Graph,
+    /// First node of the local block.
+    lo: usize,
+    /// One past the last node of the local block.
+    hi: usize,
+    /// First arena slot of the follower's side (`slot_split`); slots below
+    /// it belong to the leader.
+    slot_split: usize,
+    leader: bool,
+    bandwidth: usize,
+    enforce: bool,
+    programs: Vec<P>,
+    halted: Vec<bool>,
+    pending: Vec<Vec<OutMsg<P::Message>>>,
+    invalid: Vec<Option<NodeId>>,
+    /// Global node ids of local nodes that halted this round.
+    newly: Vec<usize>,
+    /// Cross-shard batch staged for the peer this round.
+    out_batch: Vec<(usize, P::Message)>,
+}
+
+impl<P: NodeProgram> Shard<'_, P> {
+    fn owns_slot(&self, slot: usize) -> bool {
+        (slot < self.slot_split) == self.leader
+    }
+
+    /// Routes one node's committed outbox: local-destination messages go
+    /// straight into `delivery`, cross-shard ones into the staged batch.
+    fn route(
+        &mut self,
+        v: NodeId,
+        i: usize,
+        delivery: &mut ArenaDelivery<P::Message>,
+        report: &mut ShardRound,
+    ) {
+        if report.error.is_some() {
+            self.pending[i].clear();
+            return;
+        }
+        let base = self.graph.slot_range(v).start;
+        let topo = self.graph.topology();
+        let (slot_split, leader) = (self.slot_split, self.leader);
+        let out_batch = &mut self.out_batch;
+        if let Err(e) = congest_sim::engine::drain_outbox(
+            &topo.mirror,
+            base,
+            v,
+            &mut self.pending[i],
+            self.invalid[i],
+            self.bandwidth,
+            self.enforce,
+            &mut report.acct,
+            |slot, msg| {
+                if (slot < slot_split) == leader {
+                    delivery.queue(slot, msg);
+                } else {
+                    out_batch.push((slot, msg));
+                }
+            },
+        ) {
+            report.error = Some(e);
+        }
+    }
+
+    /// Runs `init` for every local node and routes the commits.
+    fn init_round(&mut self, delivery: &mut ArenaDelivery<P::Message>) -> ShardRound {
+        let mut report = ShardRound::default();
+        let graph = self.graph;
+        for i in 0..self.programs.len() {
+            let v = NodeId(self.lo + i);
+            let ctx = NodeContext {
+                id: v,
+                graph,
+                round: 0,
+            };
+            let mut outbox = Outbox::over(
+                graph.neighbors(v),
+                &mut self.pending[i],
+                &mut self.invalid[i],
+            );
+            self.programs[i].init(&ctx, &mut outbox);
+            self.route(v, i, delivery, &mut report);
+        }
+        report
+    }
+
+    /// Runs one round for every live local node and routes the commits;
+    /// halting nodes land in `outputs` and `self.newly`.
+    fn execute_round(
+        &mut self,
+        round: u64,
+        delivery: &mut ArenaDelivery<P::Message>,
+        outputs: &mut [Option<P::Output>],
+    ) -> ShardRound {
+        let mut report = ShardRound::default();
+        let graph = self.graph;
+        self.newly.clear();
+        for i in 0..self.programs.len() {
+            if self.halted[i] {
+                continue;
+            }
+            let v = NodeId(self.lo + i);
+            let ctx = NodeContext {
+                id: v,
+                graph,
+                round,
+            };
+            let inbox = Inbox::over(graph.neighbors(v), &delivery.current()[graph.slot_range(v)]);
+            self.pending[i].clear();
+            self.invalid[i] = None;
+            let mut outbox = Outbox::over(
+                graph.neighbors(v),
+                &mut self.pending[i],
+                &mut self.invalid[i],
+            );
+            match self.programs[i].round(&ctx, &inbox, &mut outbox) {
+                RoundAction::Continue => {}
+                RoundAction::Halt(out) => {
+                    outputs[v.0] = Some(out);
+                    self.halted[i] = true;
+                    self.newly.push(v.0);
+                    report.newly_halted += 1;
+                    self.pending[i].clear();
+                }
+            }
+            self.route(v, i, delivery, &mut report);
+        }
+        report
+    }
+}
+
+/// Sends this round's payload, receives the peer's, validates it, applies
+/// the peer's halted outputs and cross-shard batch, and returns the peer's
+/// sub-totals.
+#[allow(clippy::too_many_arguments)]
+fn exchange<P: NodeProgram>(
+    session: &mut SocketSession,
+    shard: &mut Shard<'_, P>,
+    round: u64,
+    report: &ShardRound,
+    delivery: &mut ArenaDelivery<P::Message>,
+    outputs: &mut [Option<P::Output>],
+) -> Result<ShardRound, TransportError> {
+    let payload = RoundPayload {
+        round,
+        acct: report.acct.clone(),
+        newly_halted: shard
+            .newly
+            .iter()
+            .map(|&v| (v, outputs[v].clone().expect("halted node has output")))
+            .collect(),
+        error: report.error.clone(),
+        batch: std::mem::take(&mut shard.out_batch),
+    };
+    let bytes = payload.encode();
+    // Keep the staged-batch allocation for the next round.
+    shard.out_batch = payload.batch;
+    shard.out_batch.clear();
+    session.send(FrameKind::Round, &bytes)?;
+
+    let (kind, peer_bytes) = session.recv()?;
+    if kind != FrameKind::Round {
+        return Err(TransportError::Protocol(format!(
+            "expected a round frame, got {kind:?}"
+        )));
+    }
+    let peer = RoundPayload::<P::Message, P::Output>::decode(&peer_bytes)
+        .map_err(TransportError::Frame)?;
+    if peer.round != round {
+        return Err(TransportError::Protocol(format!(
+            "round desync: peer is at round {}, local round is {round}",
+            peer.round
+        )));
+    }
+    let n = shard.graph.n();
+    let peer_newly = peer.newly_halted.len();
+    for (v, out) in peer.newly_halted {
+        let peer_owned = v < n && !(shard.lo..shard.hi).contains(&v);
+        if !peer_owned || outputs[v].is_some() {
+            return Err(TransportError::Protocol(format!(
+                "peer reported a halt for node {v} it does not own"
+            )));
+        }
+        outputs[v] = Some(out);
+    }
+    for (slot, msg) in peer.batch {
+        if slot >= shard.graph.slot_count() || !shard.owns_slot(slot) {
+            return Err(TransportError::Protocol(format!(
+                "peer delivered to slot {slot} outside this shard"
+            )));
+        }
+        delivery.queue(slot, msg);
+    }
+    Ok(ShardRound {
+        acct: peer.acct,
+        newly_halted: peer_newly,
+        error: peer.error,
+    })
+}
+
+/// The symmetric per-process run loop; see the module docs for the protocol.
+fn run_session<P: NodeProgram>(
+    session: &mut SocketSession,
+    role: Role,
+    graph: &Graph,
+    programs: Vec<P>,
+    config: &ExecutorConfig,
+) -> Result<RunReport<P::Output>, TransportError> {
+    let n = graph.n();
+    if programs.len() != n {
+        return Err(TransportError::Execution(
+            ExecutionError::ProgramCountMismatch {
+                programs: programs.len(),
+                nodes: n,
+            },
+        ));
+    }
+    let bandwidth = config
+        .bandwidth_bits
+        .unwrap_or_else(|| congest_sim::congest_bandwidth_bits(n));
+    let split = n.div_ceil(2);
+    let slot_split = if split >= n {
+        graph.slot_count()
+    } else {
+        graph.slot_range(NodeId(split)).start
+    };
+
+    // Handshake: pin protocol, topology shape, split and configuration.
+    let hello = Hello {
+        version: PROTOCOL_VERSION,
+        role: match role {
+            Role::Leader => 0,
+            Role::Follower => 1,
+        },
+        n,
+        slot_count: graph.slot_count(),
+        split,
+        max_rounds: config.max_rounds,
+        bandwidth_bits: bandwidth,
+        enforce_bandwidth: config.enforce_bandwidth,
+        record_round_stats: config.record_round_stats,
+    };
+    session.send(FrameKind::Hello, &hello.encode())?;
+    let (kind, peer_bytes) = session.recv()?;
+    if kind != FrameKind::Hello {
+        return Err(TransportError::Protocol(format!(
+            "expected a hello frame, got {kind:?}"
+        )));
+    }
+    let peer = Hello::decode(&peer_bytes).map_err(TransportError::Frame)?;
+    if peer.version != PROTOCOL_VERSION {
+        return Err(TransportError::Protocol(format!(
+            "protocol version skew: local {PROTOCOL_VERSION}, peer {}",
+            peer.version
+        )));
+    }
+    if peer.role == hello.role {
+        return Err(TransportError::Protocol(format!(
+            "both endpoints claim role {} (one must listen, one connect)",
+            peer.role
+        )));
+    }
+    if (peer.n, peer.slot_count, peer.split) != (n, hello.slot_count, split) {
+        return Err(TransportError::Protocol(format!(
+            "topology skew: local (n={n}, slots={}, split={split}), peer (n={}, slots={}, split={})",
+            hello.slot_count, peer.n, peer.slot_count, peer.split
+        )));
+    }
+    if (
+        peer.max_rounds,
+        peer.bandwidth_bits,
+        peer.enforce_bandwidth,
+        peer.record_round_stats,
+    ) != (
+        hello.max_rounds,
+        hello.bandwidth_bits,
+        hello.enforce_bandwidth,
+        hello.record_round_stats,
+    ) {
+        return Err(TransportError::Protocol(
+            "executor configuration skew between the two processes".to_string(),
+        ));
+    }
+
+    let (lo, hi) = match role {
+        Role::Leader => (0, split),
+        Role::Follower => (split, n),
+    };
+    let mut shard = Shard {
+        graph,
+        lo,
+        hi,
+        slot_split,
+        leader: role == Role::Leader,
+        bandwidth,
+        enforce: config.enforce_bandwidth,
+        programs: {
+            let mut programs = programs;
+            // Keep only the local block; the peer executes the rest.
+            programs.truncate(hi);
+            programs.drain(..lo);
+            programs
+        },
+        halted: vec![false; hi - lo],
+        pending: (lo..hi)
+            .map(|v| Vec::with_capacity(graph.degree(NodeId(v))))
+            .collect(),
+        invalid: vec![None; hi - lo],
+        newly: Vec::new(),
+        out_batch: Vec::new(),
+    };
+    let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut delivery: ArenaDelivery<P::Message> = ArenaDelivery::new(graph);
+    let mut reducer = Reducer::new(config, n);
+
+    // Round 0: init, exchange, fold.
+    let report = shard.init_round(&mut delivery);
+    let peer_report = exchange(session, &mut shard, 0, &report, &mut delivery, &mut outputs)?;
+    let mut verdict = fold(&mut reducer, role, report, peer_report);
+
+    loop {
+        delivery.advance();
+        if verdict == Verdict::Stop {
+            break;
+        }
+        let round = reducer.rounds;
+        let report = shard.execute_round(round, &mut delivery, &mut outputs);
+        let peer_report = exchange(
+            session,
+            &mut shard,
+            round,
+            &report,
+            &mut delivery,
+            &mut outputs,
+        )?;
+        verdict = fold(&mut reducer, role, report, peer_report);
+    }
+
+    if let Some(e) = reducer.error.take() {
+        return Err(TransportError::Execution(e));
+    }
+    // Both shards' halts were folded and both output lists applied, so a
+    // successful run has every output present on both sides.
+    reducer
+        .into_report(
+            outputs
+                .into_iter()
+                .map(|o| o.expect("halted node has output"))
+                .collect(),
+            bandwidth,
+        )
+        .map_err(TransportError::Execution)
+}
+
+/// Folds the two shards' sub-totals in `[leader, follower]` order — the
+/// block order of the in-process executors.
+fn fold(reducer: &mut Reducer<'_>, role: Role, mine: ShardRound, peer: ShardRound) -> Verdict {
+    match role {
+        Role::Leader => reducer.fold_round([mine, peer]),
+        Role::Follower => reducer.fold_round([peer, mine]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::engine::SyncExecutor;
+    use std::io::Write;
+
+    /// Min-id flood with staggered halting so both shards mix live and
+    /// halted nodes.
+    struct MinId {
+        best: usize,
+        rounds: u64,
+    }
+
+    impl NodeProgram for MinId {
+        type Message = NodeId;
+        type Output = usize;
+
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, NodeId>) {
+            self.best = ctx.id.0;
+            outbox.broadcast(NodeId(self.best));
+        }
+
+        fn round(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            inbox: &Inbox<'_, NodeId>,
+            outbox: &mut Outbox<'_, NodeId>,
+        ) -> RoundAction<usize> {
+            for (_, m) in inbox.iter() {
+                self.best = self.best.min(m.0);
+            }
+            if ctx.round >= self.rounds + (ctx.id.0 % 3) as u64 {
+                RoundAction::Halt(self.best)
+            } else {
+                outbox.broadcast(NodeId(self.best));
+                RoundAction::Continue
+            }
+        }
+    }
+
+    fn min_id_programs(n: usize, rounds: u64) -> Vec<MinId> {
+        (0..n)
+            .map(|_| MinId {
+                best: usize::MAX,
+                rounds,
+            })
+            .collect()
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    /// Runs the same programs on both ends of a loopback session (the peer
+    /// on a second thread) and returns both complete reports.
+    fn run_both<P, F>(graph: &Graph, mk: F, config: &ExecutorConfig) -> [RunReport<P::Output>; 2]
+    where
+        P: NodeProgram + Send,
+        P::Output: Send,
+        F: Fn() -> Vec<P> + Sync,
+    {
+        let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (leader, follower) = thread::scope(|s| {
+            let follower = s.spawn(|| {
+                let mut session = SocketSession::connect(addr, Duration::from_secs(10)).unwrap();
+                session.set_timeout(Duration::from_secs(30));
+                session.run_program(Role::Follower, graph, mk(), config)
+            });
+            let mut session = listener.accept().unwrap();
+            session.set_timeout(Duration::from_secs(30));
+            let leader = session.run_program(Role::Leader, graph, mk(), config);
+            (leader, follower.join().expect("follower thread"))
+        });
+        [leader.unwrap(), follower.unwrap()]
+    }
+
+    #[test]
+    fn socket_matches_sequential_on_both_sides() {
+        let g = path_graph(17);
+        let seq = SyncExecutor
+            .run(&g, min_id_programs(17, 20), &ExecutorConfig::default())
+            .unwrap();
+        for report in run_both(&g, || min_id_programs(17, 20), &ExecutorConfig::default()) {
+            assert_eq!(seq, report);
+        }
+    }
+
+    #[test]
+    fn socket_session_survives_multiple_runs() {
+        let g = path_graph(9);
+        let config = ExecutorConfig::default();
+        let seq1 = SyncExecutor
+            .run(&g, min_id_programs(9, 9), &config)
+            .unwrap();
+        let seq2 = SyncExecutor
+            .run(&g, min_id_programs(9, 2), &config)
+            .unwrap();
+
+        let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::scope(|s| {
+            let follower = s.spawn(|| {
+                let mut session = SocketSession::connect(addr, Duration::from_secs(10)).unwrap();
+                let a = session
+                    .run_program(Role::Follower, &g, min_id_programs(9, 9), &config)
+                    .unwrap();
+                let b = session
+                    .run_program(Role::Follower, &g, min_id_programs(9, 2), &config)
+                    .unwrap();
+                (a, b)
+            });
+            let mut session = listener.accept().unwrap();
+            let a = session
+                .run_program(Role::Leader, &g, min_id_programs(9, 9), &config)
+                .unwrap();
+            let b = session
+                .run_program(Role::Leader, &g, min_id_programs(9, 2), &config)
+                .unwrap();
+            let (fa, fb) = follower.join().expect("follower thread");
+            assert_eq!(seq1, a);
+            assert_eq!(seq1, fa);
+            assert_eq!(seq2, b);
+            assert_eq!(seq2, fb);
+        });
+    }
+
+    /// Sends to a non-neighbor on one shard: both processes must fold the
+    /// same [`ExecutionError`].
+    struct BadSender {
+        bad_node: usize,
+    }
+    impl NodeProgram for BadSender {
+        type Message = usize;
+        type Output = ();
+        fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, usize>) {
+            if ctx.id.0 == self.bad_node {
+                outbox.send(NodeId(ctx.id.0 + 2), 1);
+            }
+        }
+        fn round(
+            &mut self,
+            _: &NodeContext<'_>,
+            _: &Inbox<'_, usize>,
+            _: &mut Outbox<'_, usize>,
+        ) -> RoundAction<()> {
+            RoundAction::Halt(())
+        }
+    }
+
+    #[test]
+    fn both_sides_fold_the_same_execution_error() {
+        let g = path_graph(10);
+        // One offender in the leader's block, one in the follower's.
+        for bad_node in [1usize, 7] {
+            let mk = || (0..10).map(|_| BadSender { bad_node }).collect::<Vec<_>>();
+            let seq = SyncExecutor
+                .run(&g, mk(), &ExecutorConfig::default())
+                .unwrap_err();
+            let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            thread::scope(|s| {
+                let follower = s.spawn(|| {
+                    SocketSession::connect(addr, Duration::from_secs(10))
+                        .unwrap()
+                        .run_program(Role::Follower, &g, mk(), &ExecutorConfig::default())
+                });
+                let leader = listener.accept().unwrap().run_program(
+                    Role::Leader,
+                    &g,
+                    mk(),
+                    &ExecutorConfig::default(),
+                );
+                for result in [leader, follower.join().expect("follower thread")] {
+                    match result {
+                        Err(TransportError::Execution(e)) => assert_eq!(e, seq),
+                        other => panic!("expected the sequential error, got {other:?}"),
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn malformed_peer_bytes_surface_as_a_typed_error_not_a_panic() {
+        let g = path_graph(4);
+        let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::scope(|s| {
+            // A "peer" that speaks garbage instead of the protocol.
+            s.spawn(move || {
+                let mut raw = TcpStream::connect(addr).unwrap();
+                raw.write_all(b"GETX not a frame at all\r\n\r\n").unwrap();
+            });
+            let mut session = listener.accept().unwrap();
+            session.set_timeout(Duration::from_secs(30));
+            let err = session
+                .run_program(
+                    Role::Leader,
+                    &g,
+                    min_id_programs(4, 4),
+                    &ExecutorConfig::default(),
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, TransportError::Frame(FrameError::BadMagic(_))),
+                "got {err:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn handshake_rejects_topology_skew() {
+        let g_leader = path_graph(8);
+        let g_follower = path_graph(9);
+        let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::scope(|s| {
+            let follower = s.spawn(|| {
+                SocketSession::connect(addr, Duration::from_secs(10))
+                    .unwrap()
+                    .run_program(
+                        Role::Follower,
+                        &g_follower,
+                        min_id_programs(9, 4),
+                        &ExecutorConfig::default(),
+                    )
+            });
+            let leader = listener.accept().unwrap().run_program(
+                Role::Leader,
+                &g_leader,
+                min_id_programs(8, 4),
+                &ExecutorConfig::default(),
+            );
+            assert!(
+                matches!(leader, Err(TransportError::Protocol(_))),
+                "got {leader:?}"
+            );
+            let follower = follower.join().expect("follower thread");
+            assert!(
+                matches!(follower, Err(TransportError::Protocol(_))),
+                "got {follower:?}"
+            );
+        });
+    }
+}

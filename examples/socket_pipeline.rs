@@ -1,0 +1,163 @@
+//! Two OS processes, one measured CONGEST run: the Theorem 1.2 pipeline over
+//! a loopback TCP socket.
+//!
+//! Both processes build the same deterministic graph, each simulates half of
+//! the nodes, and every measured engine phase exchanges its cross-half
+//! message batches as checksummed frames (see `congest_transport::frame`).
+//! The control plane is replicated, so *both* sides finish with the complete
+//! dominating set, assignment and round ledger — the leader additionally
+//! checks them bit-for-bit against a purely in-process run.
+//!
+//! Easiest invocation — one command, the parent spawns its own peer on an
+//! ephemeral port:
+//!
+//! ```text
+//! cargo run --release --example socket_pipeline -- --self-spawn
+//! ```
+//!
+//! Or run the two roles yourself in separate terminals (start the leader
+//! first; the follower retries the connect while the listener comes up):
+//!
+//! ```text
+//! cargo run --release --example socket_pipeline -- --role leader   --addr 127.0.0.1:7401
+//! cargo run --release --example socket_pipeline -- --role follower --addr 127.0.0.1:7401
+//! ```
+
+use congest_mds::graphs::generators;
+use congest_mds::mds::pipeline::{self, MdsConfig, MdsResult};
+use congest_mds::mds::verify;
+use congest_mds::transport::{Role, SocketExecutor, SocketListener};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+/// Per-phase receive timeout: generous, so a debug-build peer or a loaded CI
+/// runner never trips it.
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+struct Args {
+    role: Option<Role>,
+    addr: Option<String>,
+    n: usize,
+    self_spawn: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        role: None,
+        addr: None,
+        n: 80,
+        self_spawn: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--role" => {
+                args.role = match it.next().as_deref() {
+                    Some("leader") => Some(Role::Leader),
+                    Some("follower") => Some(Role::Follower),
+                    other => die(&format!(
+                        "--role expects 'leader' or 'follower', got {other:?}"
+                    )),
+                }
+            }
+            "--addr" => {
+                args.addr = Some(it.next().unwrap_or_else(|| die("--addr expects HOST:PORT")))
+            }
+            "--n" => {
+                args.n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--n expects a node count"))
+            }
+            "--self-spawn" => args.self_spawn = true,
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: socket_pipeline --self-spawn [--n N]");
+    eprintln!("       socket_pipeline --role leader|follower --addr HOST:PORT [--n N]");
+    std::process::exit(2);
+}
+
+/// The graph both processes simulate: deterministic from `n` alone, so the
+/// socket handshake's topology fingerprint check passes.
+fn demo_graph(n: usize) -> congest_mds::congest::Graph {
+    generators::gnp(n, 0.08, 42)
+}
+
+fn report(role: &str, result: &MdsResult) {
+    println!(
+        "[{role}] Theorem 1.2 across two processes: |D| = {}   rounds(sim) = {}   rounds(paper) = {}",
+        result.size(),
+        result.ledger.total_simulated_rounds(),
+        result.ledger.total_formula_rounds(),
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let graph = demo_graph(args.n);
+    let config = MdsConfig::default();
+
+    let (role_name, result) = if args.self_spawn {
+        // Bind an ephemeral port first so the child knows where to connect,
+        // then hand the accepted session straight to the executor.
+        let listener = SocketListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener has a local addr");
+        let exe = std::env::current_exe().expect("current executable path");
+        let mut child = Command::new(exe)
+            .args([
+                "--role",
+                "follower",
+                "--addr",
+                &addr.to_string(),
+                "--n",
+                &args.n.to_string(),
+            ])
+            .stdin(Stdio::null())
+            .spawn()
+            .expect("spawn follower process");
+
+        let session = listener.accept().expect("accept follower connection");
+        let executor = SocketExecutor::from_session(Role::Leader, session).with_timeout(TIMEOUT);
+        let result = pipeline::theorem_1_2_on(&graph, &config, &executor);
+
+        let status = child.wait().expect("wait on follower process");
+        assert!(status.success(), "follower process failed: {status}");
+        ("leader".to_string(), result)
+    } else {
+        let role = args
+            .role
+            .unwrap_or_else(|| die("--role is required without --self-spawn"));
+        let addr = args
+            .addr
+            .unwrap_or_else(|| die("--addr is required without --self-spawn"));
+        let executor = match role {
+            Role::Leader => SocketExecutor::listen(addr),
+            Role::Follower => SocketExecutor::connect(addr),
+        }
+        .with_timeout(TIMEOUT);
+        let result = pipeline::theorem_1_2_on(&graph, &config, &executor);
+        (format!("{role:?}").to_lowercase(), result)
+    };
+
+    report(&role_name, &result);
+    assert!(
+        verify::is_dominating_set(&graph, &result.dominating_set),
+        "socket run must produce a dominating set"
+    );
+
+    // The replicated control plane means either side can do the bit-identity
+    // audit; the leader does, against a purely in-process sequential run.
+    if role_name == "leader" {
+        let local = pipeline::theorem_1_2(&graph, &config);
+        assert_eq!(result.dominating_set, local.dominating_set);
+        assert_eq!(result.assignment, local.assignment);
+        assert_eq!(result.ledger, local.ledger);
+        println!("[leader] bit-identical to the in-process sequential pipeline ✓");
+    }
+}

@@ -19,11 +19,15 @@
 //! * [`mds`] — the deterministic dominating-set algorithms of Theorems 1.1
 //!   and 1.2 / Corollary 1.3 plus baselines.
 //! * [`cds`] — the connected dominating set algorithm of Theorem 1.4.
+//! * [`transport`] — byte-level transport backends (sharded channels,
+//!   loopback sockets) that run the same node programs over serialized
+//!   frames, bit-identical to the in-process executors.
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the mapping from the
 //! paper to modules.
 
 pub use congest_sim as congest;
+pub use congest_transport as transport;
 pub use mds_cds as cds;
 pub use mds_core as mds;
 pub use mds_decomposition as decomposition;

@@ -1,0 +1,308 @@
+//! Transport-conformance suite: every byte-level transport backend must
+//! produce [`RunReport`]s bit-identical to the sequential executor — same
+//! outputs, rounds, message/bit accounting and first error — over the seven
+//! structurally distinct graph families and both pipeline routes.
+//!
+//! CI runs the non-socket proptests across a backend × `PARALLEL_THREADS`
+//! matrix: `TRANSPORT_BACKEND` (`arena` / `channels`) selects which backend
+//! the equivalence properties exercise (unset runs both, the local default),
+//! while `PARALLEL_THREADS` pins the worker-thread count exactly as in
+//! `tests/properties.rs`. The socket tests (everything prefixed `socket_`)
+//! run as a separate non-matrix CI step — they involve real loopback TCP
+//! between threads/processes, so a flake there is attributable to the socket
+//! backend and not to the matrix dimension.
+//!
+//! [`RunReport`]: congest_mds::congest::RunReport
+
+use congest_mds::congest::{
+    Executor, ExecutorConfig, Graph, Inbox, NodeContext, NodeId, NodeProgram, Outbox,
+    PooledExecutor, RoundAction, RunReport, SyncExecutor,
+};
+use congest_mds::graphs::generators;
+use congest_mds::mds::pipeline::{self, DerandRoute, MdsConfig};
+use congest_mds::mds::verify;
+use congest_mds::transport::{
+    ChannelExecutor, FrameError, Role, SocketExecutor, SocketListener, SocketSession,
+    TransportError,
+};
+use proptest::prelude::*;
+use std::thread;
+use std::time::Duration;
+
+/// Strategy: a graph drawn from one of the seven structurally distinct
+/// families of `tests/properties.rs` — the same sweep the in-process
+/// executor-equivalence suite uses, so the transport backends are held to
+/// the identical bar.
+fn family_graph_strategy() -> impl Strategy<Value = Graph> {
+    (0usize..7, 2usize..60, 1u32..30, 0u64..1000).prop_map(
+        |(family, n, p_num, seed)| match family {
+            0 => generators::gnp(n, p_num as f64 / 100.0, seed),
+            1 => generators::cycle(n),
+            2 => generators::star(n),
+            3 => generators::random_tree(n, seed),
+            4 => generators::unit_disk(n, 0.05 + p_num as f64 / 60.0, seed),
+            5 => generators::random_regular(n, (p_num as usize % 4 + 1).min(n - 1), seed),
+            _ => generators::grid(1 + n / 8, 1 + p_num as usize % 6),
+        },
+    )
+}
+
+/// Worker-thread count: `PARALLEL_THREADS` when CI pins it, else `fallback`.
+fn forced_threads(fallback: usize) -> usize {
+    std::env::var("PARALLEL_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(fallback)
+        .max(1)
+}
+
+/// The backend dimension of the CI conformance matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The in-process arena moved by the persistent worker pool.
+    Arena,
+    /// The serialized mpsc-channel backend (`ChannelExecutor`).
+    Channels,
+}
+
+/// Backends selected by `TRANSPORT_BACKEND`; unset exercises both.
+fn selected_backends() -> Vec<Backend> {
+    match std::env::var("TRANSPORT_BACKEND").ok().as_deref() {
+        Some("arena") => vec![Backend::Arena],
+        Some("channels") => vec![Backend::Channels],
+        _ => vec![Backend::Arena, Backend::Channels],
+    }
+}
+
+/// Flood-the-minimum-id workload with staggered halting, the same program
+/// the in-process equivalence suite uses.
+struct StaggeredFlood {
+    best: usize,
+    depth: u64,
+}
+
+impl NodeProgram for StaggeredFlood {
+    type Message = NodeId;
+    type Output = usize;
+
+    fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, NodeId>) {
+        self.best = ctx.id.0;
+        outbox.broadcast(NodeId(self.best));
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<'_, NodeId>,
+        outbox: &mut Outbox<'_, NodeId>,
+    ) -> RoundAction<usize> {
+        for (_, m) in inbox.iter() {
+            self.best = self.best.min(m.0);
+        }
+        if ctx.round >= self.depth + (ctx.id.0 % 3) as u64 {
+            RoundAction::Halt(self.best)
+        } else {
+            outbox.broadcast(NodeId(self.best));
+            RoundAction::Continue
+        }
+    }
+}
+
+fn staggered_programs(n: usize, depth: u64) -> Vec<StaggeredFlood> {
+    (0..n)
+        .map(|_| StaggeredFlood {
+            best: usize::MAX,
+            depth,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    // Raw node programs: every selected backend's report is bit-for-bit the
+    // sequential one across the graph families, group counts and the pinned
+    // thread count.
+    #[test]
+    fn selected_backends_are_bit_identical_to_sequential(
+        graph in family_graph_strategy(),
+        depth in 1u64..10,
+        groups in 2usize..7,
+    ) {
+        let config = ExecutorConfig::default();
+        let threads = forced_threads(3);
+        let seq = SyncExecutor
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        for backend in selected_backends() {
+            let report: RunReport<usize> = match backend {
+                Backend::Arena => PooledExecutor::new(threads)
+                    .run(&graph, staggered_programs(graph.n(), depth), &config)
+                    .unwrap(),
+                Backend::Channels => ChannelExecutor::new(groups, threads)
+                    .run(&graph, staggered_programs(graph.n(), depth), &config)
+                    .unwrap(),
+            };
+            prop_assert_eq!(&seq, &report, "backend {:?}", backend);
+        }
+    }
+}
+
+proptest! {
+    // Each case runs full composed pipelines (several engine executions per
+    // route), so the case count stays low like the pipeline properties.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Both pipeline routes: the composed measured pipeline on every selected
+    // backend reproduces the sequential run's dominating set, assignment and
+    // complete round ledger.
+    #[test]
+    fn pipeline_routes_are_bit_identical_across_backends(
+        n in 2usize..32,
+        p_num in 2u32..30,
+        seed in 0u64..500,
+        groups in 2usize..6,
+    ) {
+        let graph = generators::gnp(n, p_num as f64 / 100.0, seed);
+        let threads = forced_threads(3);
+        for route in [DerandRoute::NetworkDecomposition { k: 2 }, DerandRoute::Coloring] {
+            let config = MdsConfig { route, ..MdsConfig::default() };
+            let sync = pipeline::run(&graph, &config);
+            for backend in selected_backends() {
+                let result = match backend {
+                    Backend::Arena => {
+                        pipeline::run_on(&graph, &config, &PooledExecutor::new(threads))
+                    }
+                    Backend::Channels => {
+                        pipeline::run_on(&graph, &config, &ChannelExecutor::new(groups, threads))
+                    }
+                };
+                prop_assert_eq!(&result.dominating_set, &sync.dominating_set,
+                    "backend {:?}", backend);
+                prop_assert_eq!(&result.assignment, &sync.assignment, "backend {:?}", backend);
+                prop_assert_eq!(&result.ledger, &sync.ledger, "backend {:?}", backend);
+            }
+            prop_assert!(verify::is_dominating_set(&graph, &sync.dominating_set));
+        }
+    }
+}
+
+/// Runs `mk()` programs on both ends of a loopback socket session (the peer
+/// on a second thread) and returns `[leader, follower]` reports.
+fn socket_run_both<P, F>(graph: &Graph, mk: F, config: &ExecutorConfig) -> [RunReport<P::Output>; 2]
+where
+    P: NodeProgram + Send,
+    P::Output: Send,
+    F: Fn() -> Vec<P> + Sync,
+{
+    let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (leader, follower) = thread::scope(|s| {
+        let follower = s.spawn(|| {
+            let mut session = SocketSession::connect(addr, Duration::from_secs(30)).unwrap();
+            session.set_timeout(Duration::from_secs(120));
+            session.run_program(Role::Follower, graph, mk(), config)
+        });
+        let mut session = listener.accept().unwrap();
+        session.set_timeout(Duration::from_secs(120));
+        let leader = session.run_program(Role::Leader, graph, mk(), config);
+        (leader, follower.join().expect("follower thread"))
+    });
+    [leader.unwrap(), follower.unwrap()]
+}
+
+proptest! {
+    // Every case opens a real TCP session and runs the program across it;
+    // keep the count small — the families still rotate across cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Socket smoke over loopback: both OS-level endpoints (threads here;
+    // `examples/socket_pipeline.rs --self-spawn` covers real processes)
+    // assemble the complete sequential report.
+    #[test]
+    fn socket_backend_is_bit_identical_to_sequential_over_loopback(
+        graph in family_graph_strategy(),
+        depth in 1u64..6,
+    ) {
+        let config = ExecutorConfig::default();
+        let seq = SyncExecutor
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        for report in socket_run_both(&graph, || staggered_programs(graph.n(), depth), &config) {
+            prop_assert_eq!(&seq, &report);
+        }
+    }
+}
+
+// Both pipeline routes across one persistent socket session: a composed
+// pipeline issues one engine run per measured phase, every phase
+// re-handshakes over the same connection, and both endpoints finish with the
+// sequential run's dominating set and ledger — the Theorem 1.2 acceptance
+// path of the transport layer.
+#[test]
+fn socket_pipeline_routes_match_the_sequential_pipeline() {
+    let graph = generators::gnp(24, 0.15, 7);
+    let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let timeout = Duration::from_secs(120);
+    thread::scope(|s| {
+        let follower = s.spawn(|| {
+            let executor = SocketExecutor::connect(addr.to_string()).with_timeout(timeout);
+            let t11 = pipeline::theorem_1_1_on(&graph, &MdsConfig::default(), &executor);
+            let t12 = pipeline::theorem_1_2_on(&graph, &MdsConfig::default(), &executor);
+            (t11, t12)
+        });
+        let session = listener.accept().unwrap();
+        let executor = SocketExecutor::from_session(Role::Leader, session).with_timeout(timeout);
+        let leader_t11 = pipeline::theorem_1_1_on(&graph, &MdsConfig::default(), &executor);
+        let leader_t12 = pipeline::theorem_1_2_on(&graph, &MdsConfig::default(), &executor);
+        let (follower_t11, follower_t12) = follower.join().expect("follower thread");
+
+        let sync_t11 = pipeline::theorem_1_1(&graph, &MdsConfig::default());
+        let sync_t12 = pipeline::theorem_1_2(&graph, &MdsConfig::default());
+        for (side, sync) in [
+            (&leader_t11, &sync_t11),
+            (&follower_t11, &sync_t11),
+            (&leader_t12, &sync_t12),
+            (&follower_t12, &sync_t12),
+        ] {
+            assert_eq!(side.dominating_set, sync.dominating_set);
+            assert_eq!(side.assignment, sync.assignment);
+            assert_eq!(side.ledger, sync.ledger);
+        }
+        assert!(verify::is_dominating_set(&graph, &sync_t12.dominating_set));
+    });
+}
+
+// Negative path at the integration level: a peer speaking garbage instead of
+// the frame protocol surfaces a typed error from the socket backend — never
+// a panic.
+#[test]
+fn socket_malformed_peer_is_a_typed_error_not_a_panic() {
+    use std::io::Write;
+
+    let graph = generators::cycle(6);
+    let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    thread::scope(|s| {
+        s.spawn(move || {
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            raw.write_all(b"HTTP/1.1 200 OK\r\n\r\nthis is not a frame")
+                .unwrap();
+        });
+        let mut session = listener.accept().unwrap();
+        session.set_timeout(Duration::from_secs(30));
+        let err = session
+            .run_program(
+                Role::Leader,
+                &graph,
+                staggered_programs(6, 3),
+                &ExecutorConfig::default(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, TransportError::Frame(FrameError::BadMagic(_))),
+            "got {err:?}"
+        );
+    });
+}
