@@ -60,6 +60,11 @@ pub struct BenchRun {
     pub formula_rounds: u64,
     /// Total messages charged in the ledger.
     pub messages: u64,
+    /// Total payloads stored by the engine (schema v5). A broadcast stores
+    /// one payload where the CONGEST accounting charges `deg(v)` messages,
+    /// so this tracks what the runtime actually materializes — and any drift
+    /// is a behavioral change in the broadcast fast path, gated exactly.
+    pub payloads: u64,
     /// End-to-end wall time of the run, milliseconds.
     pub wall_ms: f64,
 }
@@ -161,6 +166,7 @@ pub fn parse(json: &str) -> Result<BenchFile, String> {
                 simulated_rounds: u64_field(line, "simulated_rounds")?,
                 formula_rounds: u64_field(line, "formula_rounds")?,
                 messages: u64_field(line, "messages")?,
+                payloads: u64_field(line, "payloads")?,
                 wall_ms: f64_field(line, "wall_ms")?,
             });
         }
@@ -225,8 +231,8 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
 
     let mut table = String::from(
         "| graph | route | executor | transport | rounds (engine) | rounds (sim) | messages | \
-         wall base (ms) | wall now (ms) | Δ wall | status |\n\
-         | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n",
+         payloads | wall base (ms) | wall now (ms) | Δ wall | status |\n\
+         | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n",
     );
     for base in &baseline.runs {
         let key = format!(
@@ -238,7 +244,7 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
                 "{key}: present in baseline but missing from current run"
             ));
             table.push_str(&format!(
-                "| {} | {} | {} | {} | - | - | - | {:.1} | - | - | MISSING |\n",
+                "| {} | {} | {} | {} | - | - | - | - | {:.1} | - | - | MISSING |\n",
                 base.graph, base.route, base.executor, base.transport, base.wall_ms
             ));
             continue;
@@ -266,6 +272,7 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
             ),
             ("formula_rounds", base.formula_rounds, cur.formula_rounds),
             ("messages", base.messages, cur.messages),
+            ("payloads", base.payloads, cur.payloads),
         ] {
             if check_exact(&key, field, b, c, &mut violations) != "ok" {
                 status = "DRIFT";
@@ -288,7 +295,7 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
             }
         }
         table.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:+.0}% | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {:+.0}% | {} |\n",
             cur.graph,
             cur.route,
             cur.executor,
@@ -296,6 +303,7 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
             cur.measured_engine_rounds,
             cur.simulated_rounds,
             cur.messages,
+            cur.payloads,
             base.wall_ms,
             cur.wall_ms,
             delta_ms / base.wall_ms.max(f64::EPSILON) * 100.0,
@@ -306,7 +314,7 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
     for cur in &current.runs {
         if !baseline_keys.contains(&cur.key()) {
             table.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | - | {:.1} | - | new |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | - | {:.1} | - | new |\n",
                 cur.graph,
                 cur.route,
                 cur.executor,
@@ -314,6 +322,7 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
                 cur.measured_engine_rounds,
                 cur.simulated_rounds,
                 cur.messages,
+                cur.payloads,
                 cur.wall_ms,
             ));
         }
@@ -344,7 +353,7 @@ mod tests {
     fn sample(wall: f64, rounds: u64) -> String {
         format!(
             concat!(
-                "{{\n  \"benchmark\": \"pipeline\",\n  \"schema_version\": 4,\n",
+                "{{\n  \"benchmark\": \"pipeline\",\n  \"schema_version\": 5,\n",
                 "  \"runs\": [\n",
                 "    {{\"n\": 50, \"m\": 180, \"max_degree\": 11, ",
                 "\"graph\": \"gnp_n50_p0.16\", \"route\": \"theorem_1_1\", ",
@@ -353,6 +362,7 @@ mod tests {
                 "\"measured_engine_rounds\": {rounds}, ",
                 "\"measured_coloring_rounds\": 0, \"simulated_rounds\": 900, ",
                 "\"formula_rounds\": 5000, \"messages\": 12345, ",
+                "\"payloads\": 678, ",
                 "\"wall_ms\": {wall:.3}, \"wall_mwu_ms\": 1.0, ",
                 "\"wall_coloring_ms\": 0.0, \"wall_derand_ms\": 2.0, ",
                 "\"wall_other_ms\": 3.0}}\n",
@@ -376,6 +386,7 @@ mod tests {
         assert_eq!(run.n, 50);
         assert_eq!(run.measured_engine_rounds, 700);
         assert_eq!(run.messages, 12345);
+        assert_eq!(run.payloads, 678);
         assert!((run.wall_ms - 12.5).abs() < 1e-9);
     }
 
@@ -393,19 +404,19 @@ mod tests {
     fn foreign_schema_versions_get_directional_errors_not_field_noise() {
         // A file from a *newer* binary: its lines carry fields this parser
         // has never heard of — the guard must fire before any field error.
-        let newer = sample(1.0, 5).replace("\"schema_version\": 4", "\"schema_version\": 99");
+        let newer = sample(1.0, 5).replace("\"schema_version\": 5", "\"schema_version\": 99");
         let err = parse(&newer).unwrap_err();
         assert!(err.contains("newer than this binary"), "{err}");
         assert!(err.contains("rebuild the binary"), "{err}");
 
         // A file from an *older* binary points at regeneration instead.
         let older = sample(1.0, 5)
-            .replace("\"schema_version\": 4", "\"schema_version\": 3")
-            .replace("\"transport\": \"arena\", ", "");
+            .replace("\"schema_version\": 5", "\"schema_version\": 4")
+            .replace("\"payloads\": 678, ", "");
         let err = parse(&older).unwrap_err();
         assert!(err.contains("older than this binary"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
-        assert!(!err.contains("transport"), "no field-level noise: {err}");
+        assert!(!err.contains("payloads"), "no field-level noise: {err}");
     }
 
     #[test]
@@ -423,6 +434,19 @@ mod tests {
         let report = compare(&base, &cur);
         assert!(!report.is_green());
         assert!(report.violations[0].contains("measured_engine_rounds"));
+        assert!(report.table.contains("DRIFT"));
+    }
+
+    #[test]
+    fn payload_drift_is_a_hard_failure_even_when_faster() {
+        let base = parse(&sample(10.0, 100)).unwrap();
+        // Fewer stored payloads and a faster wall time still fail: the
+        // broadcast fast path's storage behavior changed.
+        let cur =
+            parse(&sample(5.0, 100).replace("\"payloads\": 678", "\"payloads\": 677")).unwrap();
+        let report = compare(&base, &cur);
+        assert!(!report.is_green());
+        assert!(report.violations[0].contains("payloads"));
         assert!(report.table.contains("DRIFT"));
     }
 
@@ -446,7 +470,7 @@ mod tests {
     fn schema_and_coverage_mismatches_fail() {
         let base = parse(&sample(10.0, 100)).unwrap();
         let mut newer = base.clone();
-        newer.schema_version = 5;
+        newer.schema_version = 6;
         assert!(compare(&base, &newer)
             .violations
             .iter()

@@ -30,7 +30,9 @@
 //! path.
 
 use crate::message::MessageSize;
-use crate::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction, INVALID_SLOT};
+use crate::program::{
+    Inbox, NodeContext, NodeProgram, OutMsg, Outbox, Pending, RoundAction, INVALID_SLOT,
+};
 use crate::topology::TopologyCache;
 use crate::{Graph, NodeId, RoundLedger};
 use std::error::Error;
@@ -110,6 +112,13 @@ pub struct RunReport<O> {
     pub rounds: u64,
     /// Total number of messages sent.
     pub messages: u64,
+    /// Stored payloads committed: an explicit send counts one, a broadcast
+    /// counts one *per broadcasting node per round* regardless of degree.
+    /// This is the storage/wire-traffic side of the ledger — `messages`
+    /// stays the CONGEST charge (`deg(v)` per broadcast), so
+    /// `messages / payloads` is the fan-out factor the broadcast fast path
+    /// avoids materializing.
+    pub payloads: u64,
     /// Total bits sent across all messages (saturating).
     pub total_bits: u64,
     /// Largest message observed, in bits.
@@ -128,13 +137,19 @@ impl<O> RunReport<O> {
     /// engine and algorithms charged in closed form land in the same
     /// [`RoundLedger`] / [`crate::CostReport`].
     pub fn charge(&self, ledger: &mut RoundLedger, name: &str) {
-        ledger.charge(name, self.rounds, self.messages);
+        ledger.charge_measured(name, self.rounds, self.messages, self.payloads);
     }
 
     /// Charges the measured cost together with the paper's closed-form round
     /// bound for the phase, so reports can compare measured vs claimed.
     pub fn charge_with_formula(&self, ledger: &mut RoundLedger, name: &str, formula_rounds: u64) {
-        ledger.charge_with_formula(name, self.rounds, formula_rounds, self.messages);
+        ledger.charge_measured_with_formula(
+            name,
+            self.rounds,
+            formula_rounds,
+            self.messages,
+            self.payloads,
+        );
     }
 }
 
@@ -407,6 +422,25 @@ pub trait Delivery<M> {
     /// same round replaces the message (one message per edge per round).
     fn queue(&mut self, slot: usize, msg: M);
 
+    /// Stages one broadcast payload into every slot of `slots` — a sender's
+    /// mirror range. Caller contract: the slots are distinct and none of them
+    /// has been queued this round (each arena slot has exactly one writer,
+    /// and a broadcasting sender stages nothing else — `Outbox::broadcast`
+    /// requires an otherwise empty outbox), so implementations may skip the
+    /// per-slot duplicate-occupancy check. The default fans through
+    /// [`Delivery::queue`], moving the last copy instead of cloning it.
+    fn queue_fan(&mut self, slots: &[usize], msg: M)
+    where
+        M: Clone,
+    {
+        if let Some((&last, rest)) = slots.split_last() {
+            for &slot in rest {
+                self.queue(slot, msg.clone());
+            }
+            self.queue(last, msg);
+        }
+    }
+
     /// Ends the round: queued messages become current, the previous round's
     /// messages are dropped.
     fn advance(&mut self);
@@ -467,11 +501,38 @@ impl<M> Delivery<M> for ArenaDelivery<M> {
         }
     }
 
+    /// The broadcast fast path's write side: the caller guarantees the slots
+    /// are distinct first occupancies, so the occupancy check and per-slot
+    /// `push` of [`ArenaDelivery::queue`] collapse into one bulk append plus
+    /// straight stores.
+    fn queue_fan(&mut self, slots: &[usize], msg: M)
+    where
+        M: Clone,
+    {
+        debug_assert!(slots.iter().all(|&s| self.next[s].is_none()));
+        self.next_written.extend_from_slice(slots);
+        if let Some((&last, rest)) = slots.split_last() {
+            for &slot in rest {
+                self.next[slot] = Some(msg.clone());
+            }
+            self.next[last] = Some(msg);
+        }
+    }
+
     /// Makes the queued messages current and empties the write side, clearing
     /// only the slots that were actually occupied (no allocation).
     fn advance(&mut self) {
-        for &slot in &self.cur_written {
-            self.cur[slot] = None;
+        // Broadcast-heavy rounds occupy most of the arena; above a quarter
+        // occupancy a linear sweep beats scattering through the written list
+        // in mirror order.
+        if self.cur_written.len() >= self.cur.len() / 4 {
+            for slot in self.cur.iter_mut() {
+                *slot = None;
+            }
+        } else {
+            for &slot in &self.cur_written {
+                self.cur[slot] = None;
+            }
         }
         self.cur_written.clear();
         std::mem::swap(&mut self.cur, &mut self.next);
@@ -494,6 +555,9 @@ impl<M> Delivery<M> for ArenaDelivery<M> {
 pub struct Accounting {
     /// Messages charged.
     pub messages: u64,
+    /// Stored payloads committed (one per explicit send, one per broadcast
+    /// regardless of degree) — see [`RunReport::payloads`].
+    pub payloads: u64,
     /// Bits charged (saturating).
     pub bits: u64,
     /// Largest message observed, in bits.
@@ -508,15 +572,31 @@ impl Accounting {
     /// of sub-totals equal the sequential accumulation.
     pub fn fold(&mut self, other: &Accounting) {
         self.messages = self.messages.saturating_add(other.messages);
+        self.payloads = self.payloads.saturating_add(other.payloads);
         self.bits = self.bits.saturating_add(other.bits);
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
         self.violations = self.violations.saturating_add(other.violations);
     }
 }
 
-/// Drains one node's queued outbox: resolves each send to its destination
-/// arena slot through `mirror`, charges it into `acct`, and hands
-/// `(slot, msg)` to `sink` in send order.
+/// One committed unit handed to the commit sink by [`drain_outbox`]: either a
+/// single per-edge message already resolved to its destination arena slot, or
+/// a broadcast payload the backend fans out itself through the sender's
+/// mirror range (the storage/wire fast path — the CONGEST charge for all
+/// `deg` copies has already been applied by the time the sink sees it).
+#[derive(Debug)]
+pub enum Committed<M> {
+    /// One message for one destination arena slot.
+    Edge(usize, M),
+    /// One broadcast payload standing for a copy to every neighbor; the
+    /// receiver of this variant resolves the fan-out through the sender's
+    /// slice of the [`TopologyCache`] mirror table.
+    Fan(M),
+}
+
+/// Drains one node's staged output: resolves each send to its destination
+/// arena slot through `mirror`, charges it into `acct`, and hands each
+/// committed unit to `sink` in send order.
 ///
 /// This is the single per-message commit primitive shared by every executor
 /// (sequential, scoped, pooled and the transport backends), so the check
@@ -526,21 +606,63 @@ impl Accounting {
 /// backends. On an error the remaining queued messages are discarded
 /// uncharged, exactly as in sequential execution.
 ///
-/// `slot_base` is `graph.slot_range(from).start`; `invalid_to` is the
-/// outbox's recorded first non-neighbor target.
+/// A pending broadcast (one stored payload — the fast path [`Outbox::broadcast`]
+/// takes on an otherwise empty outbox) is charged in one step that is
+/// arithmetically identical to committing the `deg` materialized copies the
+/// legacy path produced: the max-update is idempotent across identical
+/// messages, the per-message violation/message counts become one `+= deg`,
+/// and the saturating bit sum `deg × bits` clamps at the same ceiling any
+/// sequential partial sum would have clamped at. It then reaches `sink` as a
+/// single [`Committed::Fan`]; per-edge sends arrive as [`Committed::Edge`]
+/// with the destination slot resolved. `acct.payloads` counts stored
+/// payloads — `1` for the whole broadcast versus `deg` for the materialized
+/// equivalent — which is the only field where the two paths differ.
+///
+/// `slot_base` is `graph.slot_range(from).start` and `degree` the length of
+/// that range; `invalid_to` is the outbox's recorded first non-neighbor
+/// target.
 #[allow(clippy::too_many_arguments)]
 pub fn drain_outbox<M: MessageSize>(
     mirror: &[usize],
     slot_base: usize,
+    degree: usize,
     from: NodeId,
-    outbox: &mut Vec<OutMsg<M>>,
+    pending: &mut Pending<M>,
     invalid_to: Option<NodeId>,
     bandwidth: usize,
     enforce: bool,
     acct: &mut Accounting,
-    mut sink: impl FnMut(usize, M),
+    mut sink: impl FnMut(Committed<M>),
 ) -> Result<(), ExecutionError> {
-    for OutMsg { slot: i, msg } in outbox.drain(..) {
+    if let Some(msg) = pending.broadcast.take() {
+        debug_assert!(pending.sends.is_empty(), "broadcast implies no sends");
+        if degree == 0 {
+            return Ok(());
+        }
+        let bits = msg.size_bits();
+        acct.max_message_bits = acct.max_message_bits.max(bits);
+        if bits > bandwidth {
+            if enforce {
+                // Sequential execution errors on the first copy: one
+                // violation charged, no messages.
+                acct.violations += 1;
+                return Err(ExecutionError::BandwidthExceeded {
+                    from,
+                    bits,
+                    budget: bandwidth,
+                });
+            }
+            acct.violations += degree as u64;
+        }
+        acct.messages += degree as u64;
+        acct.bits = acct
+            .bits
+            .saturating_add((bits as u64).saturating_mul(degree as u64));
+        acct.payloads += 1;
+        sink(Committed::Fan(msg));
+        return Ok(());
+    }
+    for OutMsg { slot: i, msg } in pending.sends.drain(..) {
         if i == INVALID_SLOT {
             // The outbox records the first non-neighbor target, which is
             // exactly the send this first sentinel belongs to.
@@ -560,43 +682,53 @@ pub fn drain_outbox<M: MessageSize>(
             }
         }
         acct.messages += 1;
+        acct.payloads += 1;
         acct.bits = acct.bits.saturating_add(bits as u64);
-        sink(mirror[slot_base + i as usize], msg);
+        sink(Committed::Edge(mirror[slot_base + i as usize], msg));
     }
     Ok(())
 }
 
-/// Commits the queued outboxes of all nodes, in node order, into `delivery`,
+/// Commits the staged outputs of all nodes, in node order, into `delivery`,
 /// charging each message. Delivery slots were resolved at send time, so the
-/// hot loop is a straight [`Delivery::queue`] per message; a send to a
-/// non-neighbor surfaces here as [`INVALID_SLOT`], with the offending target
-/// parked in the sender's `invalid` scratch slot. Returns `(messages, bits)`
-/// sent this round.
+/// hot loop is a straight [`Delivery::queue`] per message; a broadcast
+/// arrives as one [`Committed::Fan`] payload and is fanned out here through
+/// the sender's mirror range (same slots, same values the materialized
+/// per-edge copies would have produced). A send to a non-neighbor surfaces
+/// as [`INVALID_SLOT`], with the offending target parked in the sender's
+/// `invalid` scratch slot. Returns `(messages, bits)` sent this round.
 #[allow(clippy::too_many_arguments)]
-fn commit_round<M: MessageSize, D: Delivery<M>>(
+fn commit_round<M: MessageSize + Clone, D: Delivery<M>>(
     graph: &Graph,
     topo: &TopologyCache,
     delivery: &mut D,
-    pending: &mut [Vec<OutMsg<M>>],
+    pending: &mut [Pending<M>],
     invalid: &[Option<NodeId>],
     acct: &mut Accounting,
     bandwidth: usize,
     enforce: bool,
 ) -> Result<(u64, u64), ExecutionError> {
     let mut round = Accounting::default();
-    for (v, outbox) in pending.iter_mut().enumerate() {
+    for (v, staged) in pending.iter_mut().enumerate() {
         let from = NodeId(v);
-        let base = graph.slot_range(from).start;
+        let range = graph.slot_range(from);
+        let (base, degree) = (range.start, range.len());
         drain_outbox(
             &topo.mirror,
             base,
+            degree,
             from,
-            outbox,
+            staged,
             invalid[v],
             bandwidth,
             enforce,
             &mut round,
-            |slot, msg| delivery.queue(slot, msg),
+            |unit| match unit {
+                Committed::Edge(slot, msg) => delivery.queue(slot, msg),
+                Committed::Fan(msg) => {
+                    delivery.queue_fan(&topo.mirror[base..base + degree], msg);
+                }
+            },
         )?;
     }
     let (messages, bits_sent) = (round.messages, round.bits);
@@ -623,7 +755,7 @@ fn execute_block<P: NodeProgram>(
     programs: &mut [P],
     halted: &mut [bool],
     outputs: &mut [Option<P::Output>],
-    pending: &mut [Vec<OutMsg<P::Message>>],
+    pending: &mut [Pending<P::Message>],
     invalid: &mut [Option<NodeId>],
 ) -> usize {
     let graph = view.graph;
@@ -704,13 +836,11 @@ where
     let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
     let mut halted = vec![false; n];
     let mut halted_count = 0usize;
-    // Pre-size each outbox from the CSR degree: a node can address at most
-    // deg(v) distinct neighbors per round, so the common broadcast pattern
-    // never reallocates mid-run.
-    let mut pending: Vec<Vec<OutMsg<P::Message>>> = graph
-        .nodes()
-        .map(|v| Vec::with_capacity(graph.degree(v)))
-        .collect();
+    // Outboxes start empty: a lone broadcast stores one payload (no per-edge
+    // materialization), and mixed send patterns grow their vec once and keep
+    // the capacity across rounds.
+    let mut pending: Vec<Pending<P::Message>> =
+        std::iter::repeat_with(Pending::new).take(n).collect();
     let mut invalid: Vec<Option<NodeId>> = vec![None; n];
     let mut acct = Accounting::default();
     let mut round_stats = Vec::new();
@@ -828,6 +958,7 @@ where
             .collect(),
         rounds: round,
         messages: acct.messages,
+        payloads: acct.payloads,
         total_bits: acct.bits,
         max_message_bits: acct.max_message_bits,
         bandwidth_violations: acct.violations,
@@ -910,6 +1041,30 @@ mod tests {
         );
         assert_eq!(report.round_stats.last().unwrap().halted, 6);
         assert!(report.total_bits > 0);
+    }
+
+    #[test]
+    fn broadcast_charges_per_edge_but_stores_one_payload_per_node() {
+        let g = path_graph(6);
+        let report = SyncExecutor
+            .run(&g, min_id_programs(6, 6), &ExecutorConfig::default())
+            .unwrap();
+        // Every node broadcasts in init and rounds 1–5: 6 node-rounds × 6
+        // nodes store one payload each, while the CONGEST charge stays one
+        // message per edge copy (sum of degrees = 10 per broadcasting round).
+        assert_eq!(report.payloads, 36);
+        assert_eq!(report.messages, 60);
+    }
+
+    #[test]
+    fn explicit_sends_charge_one_payload_per_message() {
+        let g = path_graph(2);
+        let programs: Vec<_> = (0..2).map(|_| DoubleSender { heard: None }).collect();
+        let report = SyncExecutor
+            .run(&g, programs, &ExecutorConfig::default())
+            .unwrap();
+        assert_eq!(report.messages, 2);
+        assert_eq!(report.payloads, 2, "per-edge sends store per-edge payloads");
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct PhaseCost {
     pub formula_rounds: Option<u64>,
     /// Number of point-to-point messages sent during the phase (simulated).
     pub messages: u64,
+    /// Number of payloads actually stored/shipped by the engine during the
+    /// phase: a broadcast stores one payload per broadcasting node per round
+    /// while `messages` charges `deg(v)`. Closed-form phases (no engine run)
+    /// record `payloads == messages`.
+    pub payloads: u64,
 }
 
 /// Accumulates [`PhaseCost`]s over the course of an algorithm run.
@@ -46,14 +51,10 @@ impl RoundLedger {
     }
 
     /// Charges a phase for which no separate paper formula is recorded; the
-    /// simulated cost is used for both views.
+    /// simulated cost is used for both views. Payloads default to the message
+    /// count (closed-form phases have no broadcast compression to report).
     pub fn charge(&mut self, name: &str, simulated_rounds: u64, messages: u64) {
-        self.phases.push(PhaseCost {
-            name: name.to_owned(),
-            simulated_rounds,
-            formula_rounds: None,
-            messages,
-        });
+        self.charge_measured(name, simulated_rounds, messages, messages);
     }
 
     /// Charges a phase with both a simulated cost and the paper's closed-form
@@ -65,11 +66,50 @@ impl RoundLedger {
         formula_rounds: u64,
         messages: u64,
     ) {
+        self.charge_measured_with_formula(
+            name,
+            simulated_rounds,
+            formula_rounds,
+            messages,
+            messages,
+        );
+    }
+
+    /// Charges a measured phase with an explicit stored-payload count (the
+    /// engine's `RunReport` uses this so the broadcast fast path's Δ-factor
+    /// compression shows up in the ledger).
+    pub fn charge_measured(
+        &mut self,
+        name: &str,
+        simulated_rounds: u64,
+        messages: u64,
+        payloads: u64,
+    ) {
+        self.phases.push(PhaseCost {
+            name: name.to_owned(),
+            simulated_rounds,
+            formula_rounds: None,
+            messages,
+            payloads,
+        });
+    }
+
+    /// Charges a measured phase with an explicit stored-payload count and the
+    /// paper's closed-form round bound.
+    pub fn charge_measured_with_formula(
+        &mut self,
+        name: &str,
+        simulated_rounds: u64,
+        formula_rounds: u64,
+        messages: u64,
+        payloads: u64,
+    ) {
         self.phases.push(PhaseCost {
             name: name.to_owned(),
             simulated_rounds,
             formula_rounds: Some(formula_rounds),
             messages,
+            payloads,
         });
     }
 
@@ -102,12 +142,18 @@ impl RoundLedger {
         self.phases.iter().map(|p| p.messages).sum()
     }
 
+    /// Total stored payloads across all phases.
+    pub fn total_payloads(&self) -> u64 {
+        self.phases.iter().map(|p| p.payloads).sum()
+    }
+
     /// Produces an owned summary suitable for experiment output.
     pub fn report(&self) -> CostReport {
         CostReport {
             simulated_rounds: self.total_simulated_rounds(),
             formula_rounds: self.total_formula_rounds(),
             messages: self.total_messages(),
+            payloads: self.total_payloads(),
             phases: self.phases.clone(),
         }
     }
@@ -120,22 +166,24 @@ fn fmt_costs(
     simulated: u64,
     formula: u64,
     messages: u64,
+    payloads: u64,
     phases: &[PhaseCost],
 ) -> fmt::Result {
     writeln!(
         f,
-        "rounds(sim)={simulated} rounds(paper)={formula} messages={messages}"
+        "rounds(sim)={simulated} rounds(paper)={formula} messages={messages} payloads={payloads}"
     )?;
     for p in phases {
         writeln!(
             f,
-            "  {:<40} sim={:<10} paper={:<10} msgs={}",
+            "  {:<40} sim={:<10} paper={:<10} msgs={} payloads={}",
             p.name,
             p.simulated_rounds,
             p.formula_rounds
                 .map(|r| r.to_string())
                 .unwrap_or_else(|| "-".to_owned()),
-            p.messages
+            p.messages,
+            p.payloads
         )?;
     }
     Ok(())
@@ -148,6 +196,7 @@ impl fmt::Display for RoundLedger {
             self.total_simulated_rounds(),
             self.total_formula_rounds(),
             self.total_messages(),
+            self.total_payloads(),
             &self.phases,
         )
     }
@@ -162,6 +211,8 @@ pub struct CostReport {
     pub formula_rounds: u64,
     /// Total messages.
     pub messages: u64,
+    /// Total stored payloads (see [`PhaseCost::payloads`]).
+    pub payloads: u64,
     /// Per-phase breakdown.
     pub phases: Vec<PhaseCost>,
 }
@@ -173,6 +224,7 @@ impl fmt::Display for CostReport {
             self.simulated_rounds,
             self.formula_rounds,
             self.messages,
+            self.payloads,
             &self.phases,
         )
     }
@@ -410,6 +462,24 @@ mod tests {
         let s = a.to_string();
         assert!(s.contains("alpha phase"));
         assert!(s.contains("rounds(sim)=1"));
+    }
+
+    #[test]
+    fn measured_charges_record_stored_payloads() {
+        let mut l = RoundLedger::new();
+        l.charge("closed form", 2, 10);
+        l.charge_measured("broadcast phase", 4, 40, 10);
+        l.charge_measured_with_formula("broadcast with bound", 4, 99, 40, 10);
+        assert_eq!(
+            l.phases()[0].payloads,
+            10,
+            "closed-form charge defaults payloads to messages"
+        );
+        assert_eq!(l.total_messages(), 90);
+        assert_eq!(l.total_payloads(), 30);
+        let report = l.report();
+        assert_eq!(report.payloads, 30);
+        assert!(report.to_string().contains("payloads=30"));
     }
 
     #[test]

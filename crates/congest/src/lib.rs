@@ -61,15 +61,17 @@ pub mod topology;
 
 pub use compose::{ComposedProgram, CompositionReport, Phase, PhaseMode, PhaseOutcome, PhaseSpec};
 pub use engine::{
-    drain_outbox, Accounting, ArenaDelivery, Delivery, ExecutionError, Executor, ExecutorConfig,
-    ParallelExecutor, RoundStats, RunReport, SyncExecutor,
+    drain_outbox, Accounting, ArenaDelivery, Committed, Delivery, ExecutionError, Executor,
+    ExecutorConfig, ParallelExecutor, RoundStats, RunReport, SyncExecutor,
 };
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use ledger::{CostReport, PhaseCost, RoundLedger};
 pub use message::{MessageSize, Wire};
 pub use pool::PooledExecutor;
-pub use program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction, INVALID_SLOT};
+pub use program::{
+    Inbox, NodeContext, NodeProgram, OutMsg, Outbox, Pending, RoundAction, INVALID_SLOT,
+};
 pub use topology::TopologyCache;
 
 /// The size, in bits, of the canonical CONGEST message budget for an `n`-node

@@ -77,11 +77,11 @@
 //! [`SyncExecutor`]: crate::engine::SyncExecutor
 
 use crate::engine::{
-    drain_outbox, run_engine, Accounting, ExecutionError, Executor, ExecutorConfig,
+    drain_outbox, run_engine, Accounting, Committed, ExecutionError, Executor, ExecutorConfig,
     ParallelExecutor, RoundStats, RunReport,
 };
 use crate::message::MessageSize;
-use crate::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction};
+use crate::program::{Inbox, NodeContext, NodeProgram, Outbox, Pending, RoundAction};
 use crate::topology::TopologyCache;
 use crate::{Graph, NodeId};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -94,9 +94,21 @@ const CMD_RUN: u8 = 0;
 /// halted, or the run ends with an error).
 const CMD_STOP: u8 = 1;
 
-/// A batch of committed messages routed to one receiver block:
-/// `(global arena slot, payload)` in sender order.
-type RoutedBatch<M> = Vec<(usize, M)>;
+/// One routed unit inside a transfer-cell batch.
+#[derive(Debug)]
+enum Routed<M> {
+    /// One message for one destination arena slot.
+    Edge(usize, M),
+    /// One broadcast payload from the given sender; the receiving block fans
+    /// it out over the sender's mirror targets that fall in its own chunk.
+    /// This is what keeps a broadcast at one transferred payload per touched
+    /// block instead of one per edge.
+    Fan(usize, M),
+}
+
+/// A batch of committed messages routed to one receiver block, in sender
+/// order.
+type RoutedBatch<M> = Vec<Routed<M>>;
 
 /// The persistent worker-pool executor. See the [module docs](self) for the
 /// protocol and the determinism argument.
@@ -238,12 +250,14 @@ impl Coordinator<'_> {
     /// between barriers A and B, concurrently with delivery.
     fn reduce<M>(&mut self, shared: &PoolShared<'_, M>) {
         let mut messages = 0u64;
+        let mut payloads = 0u64;
         let mut bits = 0u64;
         let mut newly = 0usize;
         let mut error: Option<ExecutionError> = None;
         for cell in &shared.published {
             let rep = std::mem::take(&mut *cell.lock().expect("publish lock"));
             messages += rep.acct.messages;
+            payloads += rep.acct.payloads;
             bits = bits.saturating_add(rep.acct.bits);
             self.acct.max_message_bits = self.acct.max_message_bits.max(rep.acct.max_message_bits);
             self.acct.violations += rep.acct.violations;
@@ -259,6 +273,7 @@ impl Coordinator<'_> {
             return;
         }
         self.acct.messages = self.acct.messages.saturating_add(messages);
+        self.acct.payloads = self.acct.payloads.saturating_add(payloads);
         self.acct.bits = self.acct.bits.saturating_add(bits);
         self.halted += newly;
         if self.config.record_round_stats {
@@ -290,20 +305,23 @@ struct WorkerBlock<'a, P: NodeProgram> {
     programs: &'a mut [P],
     halted: &'a mut [bool],
     outputs: &'a mut [Option<P::Output>],
-    pending: &'a mut [Vec<OutMsg<P::Message>>],
+    pending: &'a mut [Pending<P::Message>],
     invalid: &'a mut [Option<NodeId>],
     /// The arena slots covering every inbox of the block's nodes.
     cur: &'a mut [Option<P::Message>],
 }
 
-/// Drains one node's outbox through the engine's shared
+/// Drains one node's staged output through the engine's shared
 /// [`drain_outbox`] primitive: charges each message into `report` and routes
 /// it to the destination block's batch, with the exact per-message check
-/// order of the sequential `commit_round`.
-fn route_outbox<M: MessageSize>(
+/// order of the sequential `commit_round`. A broadcast routes one
+/// [`Routed::Fan`] payload per *touched block* (the sender's mirror targets
+/// have nondecreasing owners, so a consecutive-dedupe scan finds them)
+/// instead of one entry per edge.
+fn route_outbox<M: MessageSize + Clone>(
     shared: &PoolShared<'_, M>,
     from: NodeId,
-    outbox: &mut Vec<OutMsg<M>>,
+    staged: &mut Pending<M>,
     invalid_to: &Option<NodeId>,
     local_out: &mut [RoutedBatch<M>],
     report: &mut WorkerRound,
@@ -311,23 +329,37 @@ fn route_outbox<M: MessageSize>(
     if report.error.is_some() {
         // A lower node of this block already errored; everything after it is
         // discarded with the report, so don't route or charge.
-        outbox.clear();
+        staged.clear();
         return;
     }
-    let base = shared.graph.slot_range(from).start;
+    let range = shared.graph.slot_range(from);
+    let (base, degree) = (range.start, range.len());
     let (topo, chunk) = (shared.topo, shared.chunk);
     if let Err(e) = drain_outbox(
         &topo.mirror,
         base,
+        degree,
         from,
-        outbox,
+        staged,
         *invalid_to,
         shared.bandwidth,
         shared.enforce,
         &mut report.acct,
-        |dest, msg| {
-            let owner = topo.slot_owner[dest] as usize;
-            local_out[owner / chunk].push((dest, msg));
+        |unit| match unit {
+            Committed::Edge(dest, msg) => {
+                let owner = topo.slot_owner[dest] as usize;
+                local_out[owner / chunk].push(Routed::Edge(dest, msg));
+            }
+            Committed::Fan(msg) => {
+                let mut prev = usize::MAX;
+                for &dest in &topo.mirror[base..base + degree] {
+                    let block = topo.slot_owner[dest] as usize / chunk;
+                    if block != prev {
+                        local_out[block].push(Routed::Fan(from.0, msg.clone()));
+                        prev = block;
+                    }
+                }
+            }
         },
     ) {
         report.error = Some(e);
@@ -353,8 +385,11 @@ fn flush<M>(shared: &PoolShared<'_, M>, me: usize, local_out: &mut [RoutedBatch<
 /// Sparse-clears this worker's arena chunk and drains its incoming transfer
 /// cells into it, in sender-block order. All messages for one slot come from
 /// one sender block in send order, so "last write wins" matches the
-/// sequential arena semantics.
-fn deliver<M>(
+/// sequential arena semantics. A [`Routed::Fan`] payload is expanded here:
+/// the receiver walks the sender's mirror range and writes the slots that
+/// fall inside its own chunk — the same slots and values the materialized
+/// per-edge copies would have carried.
+fn deliver<M: Clone>(
     shared: &PoolShared<'_, M>,
     me: usize,
     slot_base: usize,
@@ -366,6 +401,7 @@ fn deliver<M>(
         cur[s] = None;
     }
     cur_written.clear();
+    let chunk_len = cur.len();
     for from in 0..shared.width {
         {
             let mut cell = shared.xfer[from * shared.width + me]
@@ -373,10 +409,26 @@ fn deliver<M>(
                 .expect("xfer lock");
             std::mem::swap(&mut *cell, scratch);
         }
-        for (slot, msg) in scratch.drain(..) {
-            let local = slot - slot_base;
-            if cur[local].replace(msg).is_none() {
-                cur_written.push(local);
+        for routed in scratch.drain(..) {
+            match routed {
+                Routed::Edge(slot, msg) => {
+                    let local = slot - slot_base;
+                    if cur[local].replace(msg).is_none() {
+                        cur_written.push(local);
+                    }
+                }
+                Routed::Fan(sender, msg) => {
+                    let range = shared.graph.slot_range(NodeId(sender));
+                    for &dest in &shared.topo.mirror[range] {
+                        if dest < slot_base || dest >= slot_base + chunk_len {
+                            continue;
+                        }
+                        let local = dest - slot_base;
+                        if cur[local].replace(msg.clone()).is_none() {
+                            cur_written.push(local);
+                        }
+                    }
+                }
             }
         }
     }
@@ -532,11 +584,10 @@ where
 
     let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
     let mut halted = vec![false; n];
-    // Pre-sized outboxes, as in the sequential engine.
-    let mut pending: Vec<Vec<OutMsg<P::Message>>> = graph
-        .nodes()
-        .map(|v| Vec::with_capacity(graph.degree(v)))
-        .collect();
+    // Empty outboxes, as in the sequential engine: a lone broadcast stores
+    // one payload and never grows the per-edge vec.
+    let mut pending: Vec<Pending<P::Message>> =
+        std::iter::repeat_with(Pending::new).take(n).collect();
     let mut invalid: Vec<Option<NodeId>> = vec![None; n];
     // Single delivered-message arena: the transfer cells play the role of
     // the sequential engine's write side.
@@ -607,6 +658,7 @@ where
             .collect(),
         rounds: coord.rounds,
         messages: coord.acct.messages,
+        payloads: coord.acct.payloads,
         total_bits: coord.acct.bits,
         max_message_bits: coord.acct.max_message_bits,
         bandwidth_violations: coord.acct.violations,

@@ -130,19 +130,66 @@ pub struct OutMsg<M> {
 /// [`crate::engine::ExecutionError::NotANeighbor`] when the round commits.
 pub const INVALID_SLOT: u32 = u32::MAX;
 
+/// A node's staged output for one round: the per-edge send list plus an
+/// optional *pending broadcast* — one stored payload that stands for a copy
+/// to every neighbor, fanned out at delivery time through the cached mirror
+/// table instead of being materialized `deg` times here.
+///
+/// Invariant: `broadcast.is_some()` implies `sends.is_empty()`. The fast
+/// path only engages for a lone [`Outbox::broadcast`] on an otherwise empty
+/// outbox; any subsequent call (a second broadcast, or an explicit send)
+/// first materializes the stored payload into per-edge sends, so the commit
+/// order the sequential engine would have observed is preserved exactly.
+#[derive(Debug)]
+pub struct Pending<M> {
+    pub(crate) sends: Vec<OutMsg<M>>,
+    pub(crate) broadcast: Option<M>,
+}
+
+impl<M> Pending<M> {
+    /// An empty staging area. Engine SPI: executors keep one per node and
+    /// reuse it across rounds, so the steady-state loop performs no
+    /// allocation.
+    pub fn new() -> Self {
+        Pending {
+            sends: Vec::new(),
+            broadcast: None,
+        }
+    }
+
+    /// Discards everything staged for this round.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.broadcast = None;
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.broadcast.is_none()
+    }
+}
+
+impl<M> Default for Pending<M> {
+    fn default() -> Self {
+        Pending::new()
+    }
+}
+
 /// Staging area for the messages a node sends at the end of a round.
 ///
-/// The buffer behind an outbox is owned by the engine and reused across
-/// rounds, so the steady-state round loop performs no allocation.
-/// [`Outbox::broadcast`] enumerates the CSR neighbor list directly, so
-/// broadcast messages carry their delivery slot for free; explicit
-/// [`Outbox::send`]s resolve it with one `O(log deg)` search. Sending twice
-/// to the same neighbor in one round is allowed; the engine keeps the *last*
-/// message (one message per edge per round, as CONGEST prescribes).
+/// The [`Pending`] buffer behind an outbox is owned by the engine and reused
+/// across rounds, so the steady-state round loop performs no allocation.
+/// A lone [`Outbox::broadcast`] stores *one* payload (fanned out at delivery
+/// time); mixed with explicit sends it falls back to enumerating the CSR
+/// neighbor list directly, so broadcast messages carry their delivery slot
+/// for free. Explicit [`Outbox::send`]s resolve the slot with one
+/// `O(log deg)` search. Sending twice to the same neighbor in one round is
+/// allowed; the engine keeps the *last* message (one message per edge per
+/// round, as CONGEST prescribes).
 #[derive(Debug)]
 pub struct Outbox<'a, M> {
     neighbors: &'a [NodeId],
-    buf: &'a mut Vec<OutMsg<M>>,
+    pending: &'a mut Pending<M>,
     /// First non-neighbor target this node addressed this round, if any —
     /// the engine resolves the [`INVALID_SLOT`] it finds first (which is the
     /// send recorded here) into a
@@ -151,24 +198,45 @@ pub struct Outbox<'a, M> {
 }
 
 impl<'a, M> Outbox<'a, M> {
-    /// Wraps a reusable buffer (and invalid-target scratch) for the node
-    /// whose neighbor list is given. Part of the engine SPI, used by every
-    /// executor (including external transport backends) to stage sends.
+    /// Wraps a reusable staging area (and invalid-target scratch) for the
+    /// node whose neighbor list is given. Part of the engine SPI, used by
+    /// every executor (including external transport backends) to stage
+    /// sends.
     pub fn over(
         neighbors: &'a [NodeId],
-        buf: &'a mut Vec<OutMsg<M>>,
+        pending: &'a mut Pending<M>,
         invalid_to: &'a mut Option<NodeId>,
     ) -> Self {
         Outbox {
             neighbors,
-            buf,
+            pending,
             invalid_to,
+        }
+    }
+
+    /// Converts a stored broadcast payload into the per-edge sends the
+    /// sequential commit would have seen, preserving slot order.
+    fn materialize(&mut self)
+    where
+        M: Clone,
+    {
+        if let Some(msg) = self.pending.broadcast.take() {
+            for slot in 0..self.neighbors.len() {
+                self.pending.sends.push(OutMsg {
+                    slot: slot as u32,
+                    msg: msg.clone(),
+                });
+            }
         }
     }
 
     /// Queues a message to `to`. The engine reports an error for a `to` that
     /// is not a neighbor when the round is committed.
-    pub fn send(&mut self, to: NodeId, message: M) {
+    pub fn send(&mut self, to: NodeId, message: M)
+    where
+        M: Clone,
+    {
+        self.materialize();
         let slot = match self.neighbors.binary_search(&to) {
             Ok(i) => i as u32,
             Err(_) => {
@@ -178,25 +246,42 @@ impl<'a, M> Outbox<'a, M> {
                 INVALID_SLOT
             }
         };
-        self.buf.push(OutMsg { slot, msg: message });
+        self.pending.sends.push(OutMsg { slot, msg: message });
     }
 
-    /// Queues a copy of `message` to every neighbor.
+    /// Queues a copy of `message` to every neighbor. On an otherwise empty
+    /// outbox this stores the payload *once*; the engine fans it out at
+    /// delivery time (charging `deg` messages against the CONGEST budget all
+    /// the same). On an isolated node (degree 0) this is a complete no-op.
     pub fn broadcast(&mut self, message: M)
     where
         M: Clone,
     {
+        if self.neighbors.is_empty() {
+            return;
+        }
+        if self.pending.is_empty() {
+            self.pending.broadcast = Some(message);
+            return;
+        }
+        self.materialize();
         for slot in 0..self.neighbors.len() {
-            self.buf.push(OutMsg {
+            self.pending.sends.push(OutMsg {
                 slot: slot as u32,
                 msg: message.clone(),
             });
         }
     }
 
-    /// Number of messages queued so far this round.
+    /// Number of messages queued so far this round (a pending broadcast
+    /// counts one per neighbor — the CONGEST charge, not the stored size).
     pub fn queued(&self) -> usize {
-        self.buf.len()
+        self.pending.sends.len()
+            + if self.pending.broadcast.is_some() {
+                self.neighbors.len()
+            } else {
+                0
+            }
     }
 }
 
@@ -271,24 +356,67 @@ mod tests {
     #[test]
     fn outbox_broadcast_reaches_every_neighbor() {
         let neighbors = [NodeId(2), NodeId(5)];
-        let mut buf = Vec::new();
+        let mut pending = Pending::new();
         let mut invalid = None;
-        let mut outbox = Outbox::over(&neighbors, &mut buf, &mut invalid);
+        let mut outbox = Outbox::over(&neighbors, &mut pending, &mut invalid);
         outbox.broadcast(9u8);
         outbox.send(NodeId(2), 4u8);
         outbox.send(NodeId(3), 6u8);
         assert_eq!(outbox.queued(), 4);
-        let queued: Vec<_> = buf.iter().map(|m| (m.slot, m.msg)).collect();
+        // The send after the broadcast materialized the stored payload into
+        // per-edge messages, in exactly the order the legacy per-edge
+        // broadcast produced.
+        assert!(pending.broadcast.is_none());
+        let queued: Vec<_> = pending.sends.iter().map(|m| (m.slot, m.msg)).collect();
         assert_eq!(queued, vec![(0, 9), (1, 9), (0, 4), (INVALID_SLOT, 6)]);
         assert_eq!(invalid, Some(NodeId(3)), "first bad target recorded");
     }
 
     #[test]
+    fn lone_broadcast_stores_one_payload() {
+        let neighbors = [NodeId(2), NodeId(5), NodeId(8)];
+        let mut pending = Pending::new();
+        let mut invalid = None;
+        let mut outbox = Outbox::over(&neighbors, &mut pending, &mut invalid);
+        outbox.broadcast(7u8);
+        assert_eq!(outbox.queued(), 3, "CONGEST charge is still per neighbor");
+        assert!(pending.sends.is_empty(), "no per-edge copies materialized");
+        assert_eq!(pending.broadcast, Some(7));
+        pending.clear();
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn double_broadcast_materializes_both_in_order() {
+        let neighbors = [NodeId(1), NodeId(4)];
+        let mut pending = Pending::new();
+        let mut invalid = None;
+        let mut outbox = Outbox::over(&neighbors, &mut pending, &mut invalid);
+        outbox.broadcast(1u8);
+        outbox.broadcast(2u8);
+        assert_eq!(outbox.queued(), 4);
+        assert!(pending.broadcast.is_none());
+        let queued: Vec<_> = pending.sends.iter().map(|m| (m.slot, m.msg)).collect();
+        assert_eq!(queued, vec![(0, 1), (1, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn broadcast_on_an_isolated_node_is_a_no_op() {
+        let neighbors: [NodeId; 0] = [];
+        let mut pending = Pending::new();
+        let mut invalid = None;
+        let mut outbox = Outbox::over(&neighbors, &mut pending, &mut invalid);
+        outbox.broadcast(3u8);
+        assert_eq!(outbox.queued(), 0);
+        assert!(pending.is_empty(), "degree 0 stores nothing at all");
+    }
+
+    #[test]
     fn outbox_records_the_first_invalid_target_only() {
         let neighbors = [NodeId(1)];
-        let mut buf = Vec::new();
+        let mut pending = Pending::new();
         let mut invalid = None;
-        let mut outbox = Outbox::over(&neighbors, &mut buf, &mut invalid);
+        let mut outbox = Outbox::over(&neighbors, &mut pending, &mut invalid);
         outbox.send(NodeId(9), 1u8);
         outbox.send(NodeId(4), 2u8);
         assert_eq!(invalid, Some(NodeId(9)));

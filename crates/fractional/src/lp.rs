@@ -265,6 +265,23 @@ fn feasibility_check(
 /// feasibility tolerance used throughout the workspace).
 const COVERAGE_TOL: f64 = 1e-9;
 
+/// The constraint-weight kernel of the distributed MWU solver: a constraint
+/// with coverage `cov` has weight `e^{-α·cov}` until covered (within the
+/// workspace feasibility tolerance `1e-9`), `0` afterwards.
+///
+/// Both [`DistributedLpProgram`] and [`central_mwu_reference`] evaluate their
+/// weights through this one function, so the engine run and the central
+/// oracle agree bit for bit by construction rather than by parallel
+/// maintenance of two formulas.
+#[inline]
+pub fn constraint_weight(alpha: f64, cov: f64) -> f64 {
+    if cov >= 1.0 - COVERAGE_TOL {
+        0.0
+    } else {
+        (-alpha * cov).exp()
+    }
+}
+
 /// Configuration of the *distributed* multiplicative-weights solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistributedLpConfig {
@@ -429,11 +446,7 @@ impl NodeProgram for DistributedLpProgram {
                     }
                     return RoundAction::Halt(self.x);
                 }
-                self.w = if cov >= 1.0 - COVERAGE_TOL {
-                    0.0
-                } else {
-                    (-p.alpha * cov).exp()
-                };
+                self.w = constraint_weight(p.alpha, cov);
                 outbox.broadcast(self.w);
                 RoundAction::Continue
             }
@@ -566,6 +579,14 @@ pub fn central_mwu_reference(graph: &Graph, config: &DistributedLpConfig) -> Fra
     }
     let p = config.resolve(graph.delta_tilde());
     let mut x = vec![0.0f64; n];
+    // Per-iteration scratch, sized once: the loop body reuses these buffers
+    // instead of collecting three fresh vectors every iteration. Each slot is
+    // overwritten in index order before it is read, and the accumulation
+    // order within a slot is unchanged, so the floats are bit-identical to
+    // the collecting version (and to the engine run).
+    let mut w = vec![0.0f64; n];
+    let mut s = vec![0.0f64; n];
+    let mut m = vec![0.0f64; n];
     let coverage = |x: &[f64], v: usize| -> f64 {
         let mut cov = x[v];
         for &u in graph.neighbors(congest_sim::NodeId(v)) {
@@ -574,34 +595,23 @@ pub fn central_mwu_reference(graph: &Graph, config: &DistributedLpConfig) -> Fra
         cov
     };
     for _ in 0..p.iterations {
-        let w: Vec<f64> = (0..n)
-            .map(|v| {
-                let cov = coverage(&x, v);
-                if cov >= 1.0 - COVERAGE_TOL {
-                    0.0
-                } else {
-                    (-p.alpha * cov).exp()
-                }
-            })
-            .collect();
-        let s: Vec<f64> = (0..n)
-            .map(|u| {
-                let mut s = w[u];
-                for &v in graph.neighbors(congest_sim::NodeId(u)) {
-                    s += w[v.0];
-                }
-                s
-            })
-            .collect();
-        let m: Vec<f64> = (0..n)
-            .map(|v| {
-                let mut best = s[v];
-                for &u in graph.neighbors(congest_sim::NodeId(v)) {
-                    best = best.max(s[u.0]);
-                }
-                best
-            })
-            .collect();
+        for v in 0..n {
+            w[v] = constraint_weight(p.alpha, coverage(&x, v));
+        }
+        for u in 0..n {
+            let mut acc = w[u];
+            for &v in graph.neighbors(congest_sim::NodeId(u)) {
+                acc += w[v.0];
+            }
+            s[u] = acc;
+        }
+        for v in 0..n {
+            let mut best = s[v];
+            for &u in graph.neighbors(congest_sim::NodeId(v)) {
+                best = best.max(s[u.0]);
+            }
+            m[v] = best;
+        }
         let threshold = 1.0 - p.epsilon;
         for u in 0..n {
             let mut qualifies = w[u] > 0.0 && s[u] >= threshold * m[u];

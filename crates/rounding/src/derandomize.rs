@@ -709,6 +709,9 @@ pub fn scheduled_derand_programs(
             }
             agenda.sort_by_key(|&(s, _, _)| s);
             member_slots.sort_by_key(|&(id, _, _)| id);
+            // Pre-size the estimator's member pass for the widest constraint
+            // this owner holds, so reply rounds never grow the scratch.
+            let widest = owned.iter().map(|oc| oc.members.len()).max().unwrap_or(0);
             ScheduledDerandProgram {
                 estimator,
                 num_steps,
@@ -722,7 +725,7 @@ pub fn scheduled_derand_programs(
                 owned,
                 agenda,
                 member_slots,
-                scratch: EstimatorScratch::default(),
+                scratch: EstimatorScratch::pre_sized(widest),
             }
         })
         .collect())

@@ -194,6 +194,24 @@ pub struct EstimatorScratch {
     next: Vec<f64>,
 }
 
+impl EstimatorScratch {
+    /// Scratch with the member pass pre-sized for owners holding up to
+    /// `members` members per constraint, so the run's reply rounds never
+    /// grow it. The DP rows deliberately stay lazy: they cost
+    /// `2 · (resolution + 1)` floats *per owner*, and only owners whose
+    /// constraints actually take the DP path (the auto kind decides per
+    /// constraint) ever need them — eagerly sizing them for every node is
+    /// hundreds of megabytes of dead allocation at bench scale, while the
+    /// lazy first resize is a one-time cost that then sticks for the run.
+    pub fn pre_sized(members: usize) -> EstimatorScratch {
+        EstimatorScratch {
+            undecided: Vec::with_capacity(members),
+            dp: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+}
+
 /// Both conditional-expectation branches of one constraint in a single member
 /// pass: the violation-probability bound with the `target`-th member's coin
 /// forced to [`CoinState::Take`] and to [`CoinState::Zero`].

@@ -26,9 +26,12 @@
 //!    the engine's shared [`drain_outbox`] primitive in node order: each
 //!    message is charged into the group's private `ShardRound` and routed
 //!    by destination group — own group into a typed local batch, other
-//!    groups into per-destination typed buffers. After a group's nodes are
-//!    done, each non-empty remote buffer is encoded and sent on that group's
-//!    channel, and the group's sub-totals are published.
+//!    groups into per-destination typed buffers. A node that broadcast
+//!    routes as a *single* `(sender, payload)` entry per touched group
+//!    instead of `deg` per-edge copies; the receiver fans it out over the
+//!    sender's mirror targets it owns. After a group's nodes are done, each
+//!    non-empty remote buffer is encoded and sent on that group's channel,
+//!    and the group's sub-totals are published.
 //! 2. **barrier A** — every send of the round happened before this wait, so
 //!    the mpsc queues are fully visible to the draining receivers after it.
 //! 3. **deliver / reduce** — each thread sparse-clears its groups' arena
@@ -45,7 +48,12 @@
 //! order in which a receiver drains batches from different sender groups is
 //! irrelevant. All messages for one slot come from exactly one sender node,
 //! hence travel in exactly one group's batch, in that sender's send order —
-//! "last write wins" picks the same message as the sequential commit. The
+//! "last write wins" picks the same message as the sequential commit. A
+//! broadcast entry fans out over exactly the slots its per-edge
+//! materialization would have written — the sender's mirror targets — with
+//! the identical payload in every one, and `drain_outbox` charges it as
+//! `deg` messages either way, so the fast path changes the bytes on the
+//! wire but not one bit of the report. The
 //! codec itself is lossless ([`Wire`] round-trips every message bit-exactly,
 //! including `f64` payloads). Accounting folds in group order through the
 //! shared `Reducer`, and the lowest group's error is the
@@ -59,10 +67,10 @@
 use crate::frame::{decode_frame, encode_frame, FrameKind};
 use crate::reduce::{Reducer, ShardRound, Verdict};
 use congest_sim::engine::{
-    drain_outbox, ExecutionError, Executor, ExecutorConfig, RunReport, SyncExecutor,
+    drain_outbox, Committed, ExecutionError, Executor, ExecutorConfig, RunReport, SyncExecutor,
 };
 use congest_sim::message::Wire;
-use congest_sim::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction};
+use congest_sim::program::{Inbox, NodeContext, NodeProgram, Outbox, Pending, RoundAction};
 use congest_sim::topology::TopologyCache;
 use congest_sim::{Graph, NodeId};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -81,6 +89,12 @@ type GroupFrame = (usize, Vec<u8>);
 /// A typed batch routed to one group: `(global arena slot, payload)` in
 /// sender order.
 type RoutedBatch<M> = Vec<(usize, M)>;
+
+/// A typed broadcast batch routed to one group: `(sender node, payload)` in
+/// sender order, one entry per broadcasting node. The receiver fans each
+/// entry out over the sender's mirror targets inside its own chunk, so a
+/// degree-`d` broadcast crosses the codec once instead of `d` times.
+type BcastBatch<M> = Vec<(usize, M)>;
 
 /// The channel-backed executor. See the [module docs](self) for the protocol
 /// and the determinism argument.
@@ -169,7 +183,7 @@ struct GroupBlock<'a, P: NodeProgram> {
     programs: &'a mut [P],
     halted: &'a mut [bool],
     outputs: &'a mut [Option<P::Output>],
-    pending: &'a mut [Vec<OutMsg<P::Message>>],
+    pending: &'a mut [Pending<P::Message>],
     invalid: &'a mut [Option<NodeId>],
     /// The arena slots covering every inbox of the group's nodes.
     cur: &'a mut [Option<P::Message>],
@@ -184,106 +198,180 @@ struct GroupScratch<M> {
     /// Per-destination-group typed batches; index `group` holds the
     /// intra-group batch that never touches the codec.
     outs: Vec<RoutedBatch<M>>,
+    /// Per-destination-group broadcast batches, same indexing; shipped as
+    /// [`FrameKind::Broadcast`] frames and fanned out by the receiver.
+    bouts: Vec<BcastBatch<M>>,
 }
 
 /// Routes one node's committed outbox: charges through the engine's shared
-/// [`drain_outbox`] primitive and pushes `(slot, msg)` into the destination
-/// group's typed buffer.
+/// [`drain_outbox`] primitive and pushes each committed unit into the
+/// destination group's typed buffer — per-edge sends as `(slot, msg)`, a
+/// broadcast as one `(sender, msg)` entry per *touched* group. Slot owners
+/// along a sender's mirror range are nondecreasing (neighbors are sorted),
+/// so deduplicating consecutive groups visits each touched group once.
 fn route_outbox<P: NodeProgram>(
     shared: &ChanShared<'_>,
     from: NodeId,
-    outbox: &mut Vec<OutMsg<P::Message>>,
+    staged: &mut Pending<P::Message>,
     invalid_to: &Option<NodeId>,
     outs: &mut [RoutedBatch<P::Message>],
+    bouts: &mut [BcastBatch<P::Message>],
     report: &mut ShardRound,
 ) {
     if report.error.is_some() {
         // A lower node of this group already errored; everything after it is
         // discarded with the report, so don't route or charge.
-        outbox.clear();
+        staged.clear();
         return;
     }
-    let base = shared.graph.slot_range(from).start;
+    let range = shared.graph.slot_range(from);
+    let (base, degree) = (range.start, range.len());
     let (topo, chunk) = (shared.topo, shared.chunk);
     if let Err(e) = drain_outbox(
         &topo.mirror,
         base,
+        degree,
         from,
-        outbox,
+        staged,
         *invalid_to,
         shared.bandwidth,
         shared.enforce,
         &mut report.acct,
-        |dest, msg| {
-            let owner = topo.slot_owner[dest] as usize / chunk;
-            outs[owner].push((dest, msg));
+        |unit| match unit {
+            Committed::Edge(dest, msg) => {
+                let owner = topo.slot_owner[dest] as usize / chunk;
+                outs[owner].push((dest, msg));
+            }
+            Committed::Fan(msg) => {
+                let mut prev = usize::MAX;
+                for &dest in &topo.mirror[base..base + degree] {
+                    let owner = topo.slot_owner[dest] as usize / chunk;
+                    if owner != prev {
+                        bouts[owner].push((from.0, msg.clone()));
+                        prev = owner;
+                    }
+                }
+            }
         },
     ) {
         report.error = Some(e);
     }
 }
 
-/// Serializes and sends this group's remote batches, one frame per non-empty
-/// destination, and publishes the group's sub-totals. The intra-group batch
-/// (`outs[group]`) stays typed for the deliver phase.
+/// Serializes and sends this group's remote batches — one [`FrameKind::Round`]
+/// frame per non-empty per-edge batch, one [`FrameKind::Broadcast`] frame per
+/// non-empty broadcast batch — and publishes the group's sub-totals. The
+/// intra-group batches (`outs[group]`, `bouts[group]`) stay typed for the
+/// deliver phase.
 fn flush_and_publish<M: Wire>(
     shared: &ChanShared<'_>,
     group: usize,
     outs: &mut [RoutedBatch<M>],
+    bouts: &mut [BcastBatch<M>],
     txs: &[Sender<GroupFrame>],
     report: ShardRound,
 ) {
-    for (dest, batch) in outs.iter_mut().enumerate() {
-        if dest == group || batch.is_empty() {
-            continue;
+    for (kind, batches) in [
+        (FrameKind::Round, &mut *outs),
+        (FrameKind::Broadcast, &mut *bouts),
+    ] {
+        for (dest, batch) in batches.iter_mut().enumerate() {
+            if dest == group || batch.is_empty() {
+                continue;
+            }
+            let mut payload = Vec::new();
+            batch.encode(&mut payload);
+            batch.clear();
+            let mut framed = Vec::new();
+            encode_frame(kind, &payload, &mut framed);
+            // Every thread holds its receivers until it exits after barrier B
+            // of the final round, and sends only happen before barrier A — so
+            // the receiving end is always alive here.
+            txs[dest]
+                .send((group, framed))
+                .expect("receiver group alive");
         }
-        let mut payload = Vec::new();
-        batch.encode(&mut payload);
-        batch.clear();
-        let mut framed = Vec::new();
-        encode_frame(FrameKind::Round, &payload, &mut framed);
-        // Every thread holds its receivers until it exits after barrier B of
-        // the final round, and sends only happen before barrier A — so the
-        // receiving end is always alive here.
-        txs[dest]
-            .send((group, framed))
-            .expect("receiver group alive");
     }
     *shared.published[group].lock().expect("publish lock") = report;
 }
 
-/// Sparse-clears the group's arena chunk, writes the intra-group batch, then
-/// drains and decodes every serialized batch from the group's channel. The
-/// drain order across sender groups is irrelevant: distinct senders write
-/// disjoint slots.
-fn deliver<P: NodeProgram>(block: &mut GroupBlock<'_, P>, scratch: &mut GroupScratch<P::Message>) {
-    let GroupScratch { cur_written, outs } = scratch;
+/// Sparse-clears the group's arena chunk, writes the intra-group batches,
+/// then drains and decodes every serialized batch from the group's channel —
+/// per-edge `Round` batches slot by slot, `Broadcast` batches by fanning each
+/// `(sender, msg)` entry over the sender's mirror targets inside this chunk.
+/// The drain order across sender groups is irrelevant: distinct senders write
+/// disjoint slots, and a sender stages either a broadcast or per-edge sends
+/// in one round, never both.
+fn deliver<P: NodeProgram>(
+    shared: &ChanShared<'_>,
+    block: &mut GroupBlock<'_, P>,
+    scratch: &mut GroupScratch<P::Message>,
+) {
+    let GroupScratch {
+        cur_written,
+        outs,
+        bouts,
+    } = scratch;
     for &s in cur_written.iter() {
         block.cur[s] = None;
     }
     cur_written.clear();
     let slot_base = block.slot_base;
     let cur = &mut *block.cur;
-    let mut write = |slot: usize, msg: P::Message| {
-        let local = slot - slot_base;
-        if cur[local].replace(msg).is_none() {
-            cur_written.push(local);
-        }
-    };
     for (slot, msg) in outs[block.group].drain(..) {
-        write(slot, msg);
+        write_slot(cur, cur_written, slot - slot_base, msg);
+    }
+    for (sender, msg) in bouts[block.group].drain(..) {
+        fan_broadcast::<P>(shared, cur, cur_written, slot_base, sender, msg);
     }
     for (_from, bytes) in block.rx.try_iter() {
         let (kind, payload) =
             decode_frame(&bytes, &mut 0).expect("in-process frame is well-formed");
-        debug_assert_eq!(kind, FrameKind::Round);
         let mut pos = 0;
         let batch = Vec::<(usize, P::Message)>::decode(payload, &mut pos)
             .expect("in-process batch decodes");
         debug_assert_eq!(pos, payload.len());
-        for (slot, msg) in batch {
-            write(slot, msg);
+        match kind {
+            FrameKind::Round => {
+                for (slot, msg) in batch {
+                    write_slot(cur, cur_written, slot - slot_base, msg);
+                }
+            }
+            FrameKind::Broadcast => {
+                for (sender, msg) in batch {
+                    fan_broadcast::<P>(shared, cur, cur_written, slot_base, sender, msg);
+                }
+            }
+            FrameKind::Hello => unreachable!("no handshake frames inside a run"),
         }
+    }
+}
+
+/// Writes one delivered message into the chunk, recording first occupancy
+/// for the next round's sparse clear (duplicates: last write wins).
+fn write_slot<M>(cur: &mut [Option<M>], cur_written: &mut Vec<usize>, local: usize, msg: M) {
+    if cur[local].replace(msg).is_none() {
+        cur_written.push(local);
+    }
+}
+
+/// Fans one broadcast entry out over the sender's mirror targets that fall
+/// inside this group's chunk, skipping the rest (other groups fan their own
+/// shares from their own copy of the entry).
+fn fan_broadcast<P: NodeProgram>(
+    shared: &ChanShared<'_>,
+    cur: &mut [Option<P::Message>],
+    cur_written: &mut Vec<usize>,
+    slot_base: usize,
+    sender: usize,
+    msg: P::Message,
+) {
+    let range = shared.graph.slot_range(NodeId(sender));
+    for &dest in &shared.topo.mirror[range] {
+        if dest < slot_base || dest >= slot_base + cur.len() {
+            continue;
+        }
+        write_slot(cur, cur_written, dest - slot_base, msg.clone());
     }
 }
 
@@ -291,7 +379,7 @@ fn deliver<P: NodeProgram>(block: &mut GroupBlock<'_, P>, scratch: &mut GroupScr
 fn init_group<P: NodeProgram>(
     shared: &ChanShared<'_>,
     block: &mut GroupBlock<'_, P>,
-    outs: &mut [RoutedBatch<P::Message>],
+    sc: &mut GroupScratch<P::Message>,
 ) -> ShardRound {
     let graph = shared.graph;
     let mut report = ShardRound::default();
@@ -313,7 +401,8 @@ fn init_group<P: NodeProgram>(
             v,
             &mut block.pending[i],
             &block.invalid[i],
-            outs,
+            &mut sc.outs,
+            &mut sc.bouts,
             &mut report,
         );
     }
@@ -325,7 +414,7 @@ fn run_group_round<P: NodeProgram>(
     shared: &ChanShared<'_>,
     block: &mut GroupBlock<'_, P>,
     round: u64,
-    outs: &mut [RoutedBatch<P::Message>],
+    sc: &mut GroupScratch<P::Message>,
 ) -> ShardRound {
     let graph = shared.graph;
     let mut report = ShardRound::default();
@@ -365,7 +454,8 @@ fn run_group_round<P: NodeProgram>(
             v,
             &mut block.pending[i],
             &block.invalid[i],
-            outs,
+            &mut sc.outs,
+            &mut sc.bouts,
             &mut report,
         );
     }
@@ -385,13 +475,21 @@ fn channel_worker<P: NodeProgram>(
         .map(|_| GroupScratch {
             cur_written: Vec::new(),
             outs: (0..shared.groups).map(|_| Vec::new()).collect(),
+            bouts: (0..shared.groups).map(|_| Vec::new()).collect(),
         })
         .collect();
 
     // Round 0: init + commit, in group order.
     for (block, sc) in blocks.iter_mut().zip(scratch.iter_mut()) {
-        let report = init_group(shared, block, &mut sc.outs);
-        flush_and_publish(shared, block.group, &mut sc.outs, &txs, report);
+        let report = init_group(shared, block, sc);
+        flush_and_publish(
+            shared,
+            block.group,
+            &mut sc.outs,
+            &mut sc.bouts,
+            &txs,
+            report,
+        );
     }
 
     let mut round = 0u64;
@@ -409,7 +507,7 @@ fn channel_worker<P: NodeProgram>(
             }
         }
         for (block, sc) in blocks.iter_mut().zip(scratch.iter_mut()) {
-            deliver(block, sc);
+            deliver(shared, block, sc);
         }
         shared.barrier.wait(); // B: delivery done, verdict published.
         if shared.command.load(Ordering::Acquire) == CMD_STOP {
@@ -418,8 +516,15 @@ fn channel_worker<P: NodeProgram>(
         round += 1;
 
         for (block, sc) in blocks.iter_mut().zip(scratch.iter_mut()) {
-            let report = run_group_round(shared, block, round, &mut sc.outs);
-            flush_and_publish(shared, block.group, &mut sc.outs, &txs, report);
+            let report = run_group_round(shared, block, round, sc);
+            flush_and_publish(
+                shared,
+                block.group,
+                &mut sc.outs,
+                &mut sc.bouts,
+                &txs,
+                report,
+            );
         }
     }
 }
@@ -480,10 +585,8 @@ where
 
     let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
     let mut halted = vec![false; n];
-    let mut pending: Vec<Vec<OutMsg<P::Message>>> = graph
-        .nodes()
-        .map(|v| Vec::with_capacity(graph.degree(v)))
-        .collect();
+    let mut pending: Vec<Pending<P::Message>> =
+        std::iter::repeat_with(Pending::new).take(n).collect();
     let mut invalid: Vec<Option<NodeId>> = vec![None; n];
     // The delivered-message arena; carved into per-group chunks below. The
     // mpsc channels play the role of the sequential engine's write side.

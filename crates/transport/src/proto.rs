@@ -21,7 +21,11 @@ use congest_sim::ExecutionError;
 
 /// Transport protocol version; bumped whenever the frame or payload layout
 /// changes incompatibly.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: [`Accounting`] gained a `payloads` field and [`RoundPayload`] a
+/// `bcast` batch (one `(sender, payload)` entry per broadcasting node, fanned
+/// out by the receiver over the sender's mirror targets it owns).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The handshake payload. Both endpoints send theirs first and verify the
 /// peer's before any round traffic: a mismatch anywhere except `role` means
@@ -92,6 +96,7 @@ impl Hello {
 
 fn encode_acct(acct: &Accounting, out: &mut Vec<u8>) {
     acct.messages.encode(out);
+    acct.payloads.encode(out);
     acct.bits.encode(out);
     acct.max_message_bits.encode(out);
     acct.violations.encode(out);
@@ -100,6 +105,7 @@ fn encode_acct(acct: &Accounting, out: &mut Vec<u8>) {
 fn decode_acct(buf: &[u8], pos: &mut usize) -> Option<Accounting> {
     Some(Accounting {
         messages: u64::decode(buf, pos)?,
+        payloads: u64::decode(buf, pos)?,
         bits: u64::decode(buf, pos)?,
         max_message_bits: usize::decode(buf, pos)?,
         violations: u64::decode(buf, pos)?,
@@ -124,6 +130,11 @@ pub struct RoundPayload<M, O> {
     /// Cross-shard messages: `(destination arena slot, message)` in sender
     /// node/send order — destination slots all belong to the receiver.
     pub batch: Vec<(usize, M)>,
+    /// Cross-shard broadcasts: one `(sender node, payload)` entry per
+    /// broadcasting node in sender node order. The receiver fans each entry
+    /// out over the sender's mirror targets that fall in its own slot block,
+    /// so the wire carries one copy instead of `deg(sender)`.
+    pub bcast: Vec<(usize, M)>,
 }
 
 impl<M: Wire, O: Wire> RoundPayload<M, O> {
@@ -135,6 +146,7 @@ impl<M: Wire, O: Wire> RoundPayload<M, O> {
         self.newly_halted.encode(&mut out);
         self.error.encode(&mut out);
         self.batch.encode(&mut out);
+        self.bcast.encode(&mut out);
         out
     }
 
@@ -150,6 +162,8 @@ impl<M: Wire, O: Wire> RoundPayload<M, O> {
                 .ok_or(FrameError::BadPayload("round.error"))?,
             batch: Vec::<(usize, M)>::decode(buf, pos)
                 .ok_or(FrameError::BadPayload("round.batch"))?,
+            bcast: Vec::<(usize, M)>::decode(buf, pos)
+                .ok_or(FrameError::BadPayload("round.bcast"))?,
         };
         if *pos != buf.len() {
             return Err(FrameError::BadPayload("round payload has trailing bytes"));
@@ -191,6 +205,7 @@ mod tests {
             round: 7,
             acct: Accounting {
                 messages: 12,
+                payloads: 7,
                 bits: 640,
                 max_message_bits: 96,
                 violations: 1,
@@ -201,6 +216,7 @@ mod tests {
                 to: NodeId(9),
             }),
             batch: vec![(0, (-0.0, true)), (17, (f64::MIN_POSITIVE, false))],
+            bcast: vec![(4, (1.5, true))],
         };
         let bytes = payload.encode();
         let back = RoundPayload::<(f64, bool), u64>::decode(&bytes).unwrap();
@@ -211,6 +227,7 @@ mod tests {
         assert_eq!(back.batch.len(), 2);
         assert_eq!(back.batch[0].1 .0.to_bits(), (-0.0f64).to_bits());
         assert_eq!(back.batch[1].1 .0, f64::MIN_POSITIVE);
+        assert_eq!(back.bcast, vec![(4, (1.5, true))]);
     }
 
     #[test]
@@ -221,6 +238,7 @@ mod tests {
             newly_halted: vec![(0, ())],
             error: None,
             batch: vec![(4, 42)],
+            bcast: vec![(1, 7)],
         };
         let bytes = payload.encode();
         for cut in 0..bytes.len() {

@@ -64,11 +64,13 @@ impl<'c> Reducer<'c> {
     /// arrive in shard order (= node order).
     pub fn fold_round(&mut self, cells: impl IntoIterator<Item = ShardRound>) -> Verdict {
         let mut messages = 0u64;
+        let mut payloads = 0u64;
         let mut bits = 0u64;
         let mut newly = 0usize;
         let mut error: Option<ExecutionError> = None;
         for rep in cells {
             messages += rep.acct.messages;
+            payloads += rep.acct.payloads;
             bits = bits.saturating_add(rep.acct.bits);
             self.acct.max_message_bits = self.acct.max_message_bits.max(rep.acct.max_message_bits);
             self.acct.violations += rep.acct.violations;
@@ -83,6 +85,7 @@ impl<'c> Reducer<'c> {
             return Verdict::Stop;
         }
         self.acct.messages = self.acct.messages.saturating_add(messages);
+        self.acct.payloads = self.acct.payloads.saturating_add(payloads);
         self.acct.bits = self.acct.bits.saturating_add(bits);
         self.halted += newly;
         if self.config.record_round_stats {
@@ -119,6 +122,7 @@ impl<'c> Reducer<'c> {
             outputs,
             rounds: self.rounds,
             messages: self.acct.messages,
+            payloads: self.acct.payloads,
             total_bits: self.acct.bits,
             max_message_bits: self.acct.max_message_bits,
             bandwidth_violations: self.acct.violations,

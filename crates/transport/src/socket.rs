@@ -9,8 +9,10 @@
 //! `split = ceil(n / 2)`. Per round, each side ships the peer a single
 //! checksummed frame (see [`crate::frame`]) carrying everything the peer
 //! cannot compute locally — its accounting sub-totals, its newly-halted
-//! nodes' outputs, its first error, and the cross-shard `(slot, message)`
-//! batch ([`RoundPayload`]). Each side then folds `[leader, follower]`
+//! nodes' outputs, its first error, the cross-shard `(slot, message)`
+//! batch, and one `(sender, payload)` entry per cross-shard *broadcast*,
+//! which the receiver fans out over the sender's mirror targets it owns
+//! ([`RoundPayload`]). Each side then folds `[leader, follower]`
 //! sub-totals through the shared `Reducer` — the same fold
 //! the in-process executors perform in block order — so both processes
 //! assemble the *complete*, identical [`RunReport`] without a separate
@@ -43,9 +45,9 @@ use crate::proto::{Hello, RoundPayload, PROTOCOL_VERSION};
 use crate::reduce::{Reducer, ShardRound, Verdict};
 use crate::TransportError;
 use congest_sim::engine::{
-    ArenaDelivery, Delivery, ExecutionError, Executor, ExecutorConfig, RunReport,
+    ArenaDelivery, Committed, Delivery, ExecutionError, Executor, ExecutorConfig, RunReport,
 };
-use congest_sim::program::{Inbox, NodeContext, NodeProgram, OutMsg, Outbox, RoundAction};
+use congest_sim::program::{Inbox, NodeContext, NodeProgram, Outbox, Pending, RoundAction};
 use congest_sim::{Graph, NodeId};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
@@ -353,12 +355,16 @@ struct Shard<'g, P: NodeProgram> {
     enforce: bool,
     programs: Vec<P>,
     halted: Vec<bool>,
-    pending: Vec<Vec<OutMsg<P::Message>>>,
+    pending: Vec<Pending<P::Message>>,
     invalid: Vec<Option<NodeId>>,
     /// Global node ids of local nodes that halted this round.
     newly: Vec<usize>,
     /// Cross-shard batch staged for the peer this round.
     out_batch: Vec<(usize, P::Message)>,
+    /// Cross-shard broadcasts staged for the peer this round: one
+    /// `(sender, payload)` entry per local node whose broadcast reaches any
+    /// peer-owned slot; the peer fans it out over the slots it owns.
+    out_bcast: Vec<(usize, P::Message)>,
 }
 
 impl<P: NodeProgram> Shard<'_, P> {
@@ -367,7 +373,9 @@ impl<P: NodeProgram> Shard<'_, P> {
     }
 
     /// Routes one node's committed outbox: local-destination messages go
-    /// straight into `delivery`, cross-shard ones into the staged batch.
+    /// straight into `delivery`, cross-shard ones into the staged batch. A
+    /// broadcast fans its locally-owned mirror targets into `delivery` and
+    /// stages at most one `(sender, payload)` entry for the peer.
     fn route(
         &mut self,
         v: NodeId,
@@ -379,24 +387,42 @@ impl<P: NodeProgram> Shard<'_, P> {
             self.pending[i].clear();
             return;
         }
-        let base = self.graph.slot_range(v).start;
+        let range = self.graph.slot_range(v);
+        let (base, degree) = (range.start, range.len());
         let topo = self.graph.topology();
         let (slot_split, leader) = (self.slot_split, self.leader);
         let out_batch = &mut self.out_batch;
+        let out_bcast = &mut self.out_bcast;
         if let Err(e) = congest_sim::engine::drain_outbox(
             &topo.mirror,
             base,
+            degree,
             v,
             &mut self.pending[i],
             self.invalid[i],
             self.bandwidth,
             self.enforce,
             &mut report.acct,
-            |slot, msg| {
-                if (slot < slot_split) == leader {
-                    delivery.queue(slot, msg);
-                } else {
-                    out_batch.push((slot, msg));
+            |unit| match unit {
+                Committed::Edge(slot, msg) => {
+                    if (slot < slot_split) == leader {
+                        delivery.queue(slot, msg);
+                    } else {
+                        out_batch.push((slot, msg));
+                    }
+                }
+                Committed::Fan(msg) => {
+                    let mut cross = false;
+                    for &slot in &topo.mirror[base..base + degree] {
+                        if (slot < slot_split) == leader {
+                            delivery.queue(slot, msg.clone());
+                        } else {
+                            cross = true;
+                        }
+                    }
+                    if cross {
+                        out_bcast.push((v.0, msg));
+                    }
                 }
             },
         ) {
@@ -493,11 +519,14 @@ fn exchange<P: NodeProgram>(
             .collect(),
         error: report.error.clone(),
         batch: std::mem::take(&mut shard.out_batch),
+        bcast: std::mem::take(&mut shard.out_bcast),
     };
     let bytes = payload.encode();
-    // Keep the staged-batch allocation for the next round.
+    // Keep the staged-batch allocations for the next round.
     shard.out_batch = payload.batch;
     shard.out_batch.clear();
+    shard.out_bcast = payload.bcast;
+    shard.out_bcast.clear();
     session.send(FrameKind::Round, &bytes)?;
 
     let (kind, peer_bytes) = session.recv()?;
@@ -532,6 +561,20 @@ fn exchange<P: NodeProgram>(
             )));
         }
         delivery.queue(slot, msg);
+    }
+    for (sender, msg) in peer.bcast {
+        let peer_owned = sender < n && !(shard.lo..shard.hi).contains(&sender);
+        if !peer_owned {
+            return Err(TransportError::Protocol(format!(
+                "peer broadcast from node {sender} it does not own"
+            )));
+        }
+        let topo = shard.graph.topology();
+        for &slot in &topo.mirror[shard.graph.slot_range(NodeId(sender))] {
+            if shard.owns_slot(slot) {
+                delivery.queue(slot, msg.clone());
+            }
+        }
     }
     Ok(ShardRound {
         acct: peer.acct,
@@ -644,12 +687,11 @@ fn run_session<P: NodeProgram>(
             programs
         },
         halted: vec![false; hi - lo],
-        pending: (lo..hi)
-            .map(|v| Vec::with_capacity(graph.degree(NodeId(v))))
-            .collect(),
+        pending: std::iter::repeat_with(Pending::new).take(hi - lo).collect(),
         invalid: vec![None; hi - lo],
         newly: Vec::new(),
         out_batch: Vec::new(),
+        out_bcast: Vec::new(),
     };
     let mut outputs: Vec<Option<P::Output>> = std::iter::repeat_with(|| None).take(n).collect();
     let mut delivery: ArenaDelivery<P::Message> = ArenaDelivery::new(graph);

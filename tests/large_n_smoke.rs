@@ -18,7 +18,7 @@
 //! * the adaptive chunking of [`ParallelExecutor::auto`] commits in node
 //!   order regardless of thread count.
 
-use congest_mds::congest::{ParallelExecutor, PhaseMode};
+use congest_mds::congest::{ParallelExecutor, PhaseMode, PooledExecutor};
 use congest_mds::graphs::generators;
 use congest_mds::mds::pipeline::{self, DerandRoute, MdsConfig};
 use congest_mds::mds::verify;
@@ -101,6 +101,41 @@ fn full_pipeline_at_ten_thousand_nodes_on_gnp() {
         ..MdsConfig::default()
     };
     assert_engine_matches_oracle_at_scale(&graph, &config, "gnp n=10^4");
+}
+
+#[test]
+#[ignore = "large-n smoke: minutes in release; the CI perf-trend job runs it explicitly"]
+fn theorem_1_2_at_one_million_nodes_matches_the_oracle() {
+    // The instance of the benchmark sweep's n = 10⁶ `pooled4` row. The
+    // sequential reference would double the wall budget, so this smoke pins
+    // the scale executor directly against the central oracle: same
+    // dominating set, same assignment, feasible, and the broadcast fast
+    // path's stored payloads strictly below the charged messages.
+    let graph = generators::gnm(1_000_000, 4_000_000, 3);
+    let config = MdsConfig {
+        route: DerandRoute::Coloring,
+        ..MdsConfig::default()
+    };
+    let oracle = pipeline::central_oracle(&graph, &config);
+    let pooled = pipeline::theorem_1_2_on(&graph, &config, &PooledExecutor::new(forced_threads(4)));
+    assert!(
+        verify::is_dominating_set(&graph, &pooled.dominating_set),
+        "gnm n=10^6: pooled output is not dominating"
+    );
+    assert_eq!(
+        pooled.dominating_set, oracle.dominating_set,
+        "gnm n=10^6: pooled executor diverged from the central oracle"
+    );
+    assert_eq!(
+        pooled.assignment, oracle.assignment,
+        "gnm n=10^6: pooled assignment diverged"
+    );
+    assert!(
+        pooled.ledger.total_payloads() < pooled.ledger.total_messages(),
+        "gnm n=10^6: broadcast fast path stored {} payloads vs {} charged messages",
+        pooled.ledger.total_payloads(),
+        pooled.ledger.total_messages()
+    );
 }
 
 #[test]

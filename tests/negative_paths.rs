@@ -5,8 +5,8 @@
 
 use congest_mds::congest::ledger::formulas;
 use congest_mds::congest::{
-    ComposedProgram, ExecutionError, ExecutorConfig, Graph, Inbox, NodeContext, NodeProgram,
-    Outbox, PhaseSpec, RoundAction, SyncExecutor,
+    ComposedProgram, ExecutionError, Executor, ExecutorConfig, Graph, Inbox, NodeContext,
+    NodeProgram, Outbox, ParallelExecutor, PhaseSpec, PooledExecutor, RoundAction, SyncExecutor,
 };
 use congest_mds::decomposition::coloring::{
     bipartite_distance_two_coloring, distance_two_coloring_programs,
@@ -156,6 +156,113 @@ fn degenerate_bipartite_input_without_left_nodes_is_colored_in_one_step() {
     assert_eq!(run.steps, 1);
     assert_eq!(run.report.rounds, formulas::measured_coloring_rounds(1));
     assert!(run.report.rounds <= formulas::bipartite_coloring_rounds(0, 0, g.n()));
+}
+
+// ---- the broadcast fast path's degenerate case ----
+
+/// Broadcasts every round until round 3, then halts with the number of
+/// messages ever received.
+struct CountingBroadcaster {
+    seen: usize,
+}
+
+impl NodeProgram for CountingBroadcaster {
+    type Message = u32;
+    type Output = usize;
+
+    fn init(&mut self, _: &NodeContext<'_>, outbox: &mut Outbox<'_, u32>) {
+        outbox.broadcast(7);
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<'_, u32>,
+        outbox: &mut Outbox<'_, u32>,
+    ) -> RoundAction<usize> {
+        self.seen += inbox.len();
+        if ctx.round >= 3 {
+            RoundAction::Halt(self.seen)
+        } else {
+            outbox.broadcast(7);
+            RoundAction::Continue
+        }
+    }
+}
+
+fn counting_broadcasters(n: usize) -> Vec<CountingBroadcaster> {
+    (0..n).map(|_| CountingBroadcaster { seen: 0 }).collect()
+}
+
+#[test]
+fn broadcast_on_isolated_nodes_is_a_free_noop_on_every_backend() {
+    use congest_mds::transport::{ChannelExecutor, Role, SocketListener, SocketSession};
+    use std::time::Duration;
+
+    // Nodes 3 and 4 are isolated: their broadcasts must be no-ops — zero
+    // charged messages, zero stored payloads, zero bits. The triangle 0-1-2
+    // keeps the run from being trivially empty: each of its nodes broadcasts
+    // in rounds 0..3 (2 messages charged, 1 payload stored per broadcast)
+    // and hears both neighbors in rounds 1..=3.
+    let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+    let config = ExecutorConfig::default();
+    let seq = SyncExecutor
+        .run(&g, counting_broadcasters(5), &config)
+        .unwrap();
+    assert_eq!(seq.outputs, vec![6, 6, 6, 0, 0]);
+    assert_eq!(seq.messages, 18);
+    assert_eq!(seq.payloads, 9);
+
+    // All five nodes isolated: every broadcast in the run is the degenerate
+    // case, and the whole report is zeros.
+    let empty = Graph::empty(5);
+    let quiet = SyncExecutor
+        .run(&empty, counting_broadcasters(5), &config)
+        .unwrap();
+    assert_eq!(quiet.outputs, vec![0; 5]);
+    assert_eq!(quiet.messages, 0);
+    assert_eq!(quiet.payloads, 0);
+    assert_eq!(quiet.total_bits, 0);
+
+    // Every in-process backend agrees bit for bit on both graphs.
+    macro_rules! check_backend {
+        ($label:literal, $executor:expr) => {
+            let report = $executor
+                .run(&g, counting_broadcasters(5), &config)
+                .unwrap();
+            assert_eq!(
+                seq, report,
+                "{} diverged on the isolated-node graph",
+                $label
+            );
+            let report = $executor
+                .run(&empty, counting_broadcasters(5), &config)
+                .unwrap();
+            assert_eq!(quiet, report, "{} diverged on the edgeless graph", $label);
+        };
+    }
+    check_backend!("parallel", ParallelExecutor::new(2));
+    check_backend!("pooled", PooledExecutor::new(2));
+    check_backend!("channels", ChannelExecutor::new(2, 2));
+
+    // And so does the socket backend over loopback, on the mixed graph.
+    let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|s| {
+        let follower = s.spawn(|| {
+            let mut session = SocketSession::connect(addr, Duration::from_secs(30)).unwrap();
+            session.set_timeout(Duration::from_secs(120));
+            session.run_program(Role::Follower, &g, counting_broadcasters(5), &config)
+        });
+        let mut session = listener.accept().unwrap();
+        session.set_timeout(Duration::from_secs(120));
+        let leader = session
+            .run_program(Role::Leader, &g, counting_broadcasters(5), &config)
+            .unwrap();
+        assert_eq!(seq, leader, "socket leader diverged");
+        let follower = follower.join().expect("follower thread").unwrap();
+        assert_eq!(seq, follower, "socket follower diverged");
+    });
 }
 
 #[test]

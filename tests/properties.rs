@@ -3,7 +3,7 @@
 
 use congest_mds::congest::{
     Executor, ExecutorConfig, Graph, Inbox, NodeContext, NodeId, NodeProgram, Outbox,
-    ParallelExecutor, PooledExecutor, RoundAction, SyncExecutor,
+    ParallelExecutor, PooledExecutor, RoundAction, RunReport, SyncExecutor,
 };
 use congest_mds::decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
 use congest_mds::decomposition::spanner::{derandomized_spanner, verify_spanner};
@@ -98,6 +98,68 @@ fn staggered_programs(n: usize, depth: u64) -> Vec<StaggeredFlood> {
             depth,
         })
         .collect()
+}
+
+/// The per-edge twin of [`StaggeredFlood`]: identical logic, but every
+/// `broadcast` is replaced by one explicit `send` per neighbor. The engine
+/// stores `deg(v)` payloads per round for this twin where the broadcast
+/// program stores one — everything else it reports must be bit-identical.
+struct StaggeredFloodSends {
+    best: usize,
+    depth: u64,
+}
+
+impl NodeProgram for StaggeredFloodSends {
+    type Message = NodeId;
+    type Output = usize;
+
+    fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, NodeId>) {
+        self.best = ctx.id.0;
+        for &to in ctx.neighbors() {
+            outbox.send(to, NodeId(self.best));
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<'_, NodeId>,
+        outbox: &mut Outbox<'_, NodeId>,
+    ) -> RoundAction<usize> {
+        for (_, m) in inbox.iter() {
+            self.best = self.best.min(m.0);
+        }
+        if ctx.round >= self.depth + (ctx.id.0 % 3) as u64 {
+            RoundAction::Halt(self.best)
+        } else {
+            for &to in ctx.neighbors() {
+                outbox.send(to, NodeId(self.best));
+            }
+            RoundAction::Continue
+        }
+    }
+}
+
+fn sends_programs(n: usize, depth: u64) -> Vec<StaggeredFloodSends> {
+    (0..n)
+        .map(|_| StaggeredFloodSends {
+            best: usize::MAX,
+            depth,
+        })
+        .collect()
+}
+
+/// Asserts two reports agree on every field *except* `payloads` — the one
+/// field the broadcast fast path is allowed (and expected) to shrink.
+fn assert_identical_modulo_payloads(bcast: &RunReport<usize>, sends: &RunReport<usize>) {
+    prop_assert_eq!(&bcast.outputs, &sends.outputs);
+    prop_assert_eq!(bcast.rounds, sends.rounds);
+    prop_assert_eq!(bcast.messages, sends.messages);
+    prop_assert_eq!(bcast.total_bits, sends.total_bits);
+    prop_assert_eq!(bcast.max_message_bits, sends.max_message_bits);
+    prop_assert_eq!(bcast.bandwidth_violations, sends.bandwidth_violations);
+    prop_assert_eq!(bcast.bandwidth_bits, sends.bandwidth_bits);
+    prop_assert_eq!(&bcast.round_stats, &sends.round_stats);
 }
 
 proptest! {
@@ -312,6 +374,52 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(&seq, &pooled, "thread count {}", threads);
         }
+    }
+
+    // A program that broadcasts and its per-edge-send twin produce the same
+    // RunReport — outputs, rounds, messages, bits, violations, round stats —
+    // on every executor; only `payloads` differs, and exactly as the storage
+    // model predicts: the send twin stores one payload per charged message,
+    // the broadcast twin strictly fewer as soon as any node has degree ≥ 2.
+    #[test]
+    fn broadcast_and_per_edge_sends_are_bit_identical_modulo_payloads(
+        graph in family_graph_strategy(),
+        depth in 1u64..10,
+    ) {
+        let config = ExecutorConfig::default();
+        let bcast = SyncExecutor
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        let sends = SyncExecutor
+            .run(&graph, sends_programs(graph.n(), depth), &config)
+            .unwrap();
+        assert_identical_modulo_payloads(&bcast, &sends);
+        // Per-edge sends store exactly what they charge; broadcast stores
+        // one payload per node per round instead.
+        prop_assert_eq!(sends.payloads, sends.messages);
+        prop_assert!(bcast.payloads <= sends.payloads);
+        if graph.max_degree() >= 2 {
+            prop_assert!(bcast.payloads < sends.payloads);
+        }
+        // Every executor reproduces its sync reference bit for bit —
+        // payloads included — on both twins.
+        let threads = forced_threads(4);
+        let par_b = ParallelExecutor::new(threads)
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        prop_assert_eq!(&bcast, &par_b);
+        let pool_b = PooledExecutor::new(threads)
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        prop_assert_eq!(&bcast, &pool_b);
+        let par_s = ParallelExecutor::new(threads)
+            .run(&graph, sends_programs(graph.n(), depth), &config)
+            .unwrap();
+        prop_assert_eq!(&sends, &par_s);
+        let pool_s = PooledExecutor::new(threads)
+            .run(&graph, sends_programs(graph.n(), depth), &config)
+            .unwrap();
+        prop_assert_eq!(&sends, &pool_s);
     }
 
     // When several nodes misaddress a message in the same round, the pooled

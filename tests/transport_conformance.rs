@@ -117,6 +117,72 @@ fn staggered_programs(n: usize, depth: u64) -> Vec<StaggeredFlood> {
         .collect()
 }
 
+/// The per-edge twin of [`StaggeredFlood`]: the same flood expressed as one
+/// explicit `send` per neighbor instead of a `broadcast`. On the framed
+/// backends the broadcast program ships one `Broadcast` frame entry per node
+/// per round where this twin ships `deg(v)` `Round` entries — everything in
+/// the report except `payloads` must still match bit for bit.
+struct StaggeredFloodSends {
+    best: usize,
+    depth: u64,
+}
+
+impl NodeProgram for StaggeredFloodSends {
+    type Message = NodeId;
+    type Output = usize;
+
+    fn init(&mut self, ctx: &NodeContext<'_>, outbox: &mut Outbox<'_, NodeId>) {
+        self.best = ctx.id.0;
+        for &to in ctx.neighbors() {
+            outbox.send(to, NodeId(self.best));
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &Inbox<'_, NodeId>,
+        outbox: &mut Outbox<'_, NodeId>,
+    ) -> RoundAction<usize> {
+        for (_, m) in inbox.iter() {
+            self.best = self.best.min(m.0);
+        }
+        if ctx.round >= self.depth + (ctx.id.0 % 3) as u64 {
+            RoundAction::Halt(self.best)
+        } else {
+            for &to in ctx.neighbors() {
+                outbox.send(to, NodeId(self.best));
+            }
+            RoundAction::Continue
+        }
+    }
+}
+
+fn sends_programs(n: usize, depth: u64) -> Vec<StaggeredFloodSends> {
+    (0..n)
+        .map(|_| StaggeredFloodSends {
+            best: usize::MAX,
+            depth,
+        })
+        .collect()
+}
+
+/// Asserts two reports agree on everything except `payloads`, then pins the
+/// payload relation itself: the send twin stores one payload per charged
+/// message, the broadcast twin at most that.
+fn assert_twins_agree(bcast: &RunReport<usize>, sends: &RunReport<usize>) {
+    prop_assert_eq!(&bcast.outputs, &sends.outputs);
+    prop_assert_eq!(bcast.rounds, sends.rounds);
+    prop_assert_eq!(bcast.messages, sends.messages);
+    prop_assert_eq!(bcast.total_bits, sends.total_bits);
+    prop_assert_eq!(bcast.max_message_bits, sends.max_message_bits);
+    prop_assert_eq!(bcast.bandwidth_violations, sends.bandwidth_violations);
+    prop_assert_eq!(bcast.bandwidth_bits, sends.bandwidth_bits);
+    prop_assert_eq!(&bcast.round_stats, &sends.round_stats);
+    prop_assert_eq!(sends.payloads, sends.messages);
+    prop_assert!(bcast.payloads <= sends.payloads);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -144,6 +210,50 @@ proptest! {
                     .unwrap(),
             };
             prop_assert_eq!(&seq, &report, "backend {:?}", backend);
+        }
+    }
+
+    // The broadcast program and its per-edge-send twin stay bit-identical
+    // modulo `payloads` on every selected backend: each backend reproduces
+    // its own sync reference exactly (payloads included — one broadcast
+    // frame entry per broadcasting node, not per edge), and the two sync
+    // references differ only in stored payloads.
+    #[test]
+    fn broadcast_and_send_twins_agree_on_selected_backends(
+        graph in family_graph_strategy(),
+        depth in 1u64..10,
+        groups in 2usize..7,
+    ) {
+        let config = ExecutorConfig::default();
+        let threads = forced_threads(3);
+        let bcast = SyncExecutor
+            .run(&graph, staggered_programs(graph.n(), depth), &config)
+            .unwrap();
+        let sends = SyncExecutor
+            .run(&graph, sends_programs(graph.n(), depth), &config)
+            .unwrap();
+        assert_twins_agree(&bcast, &sends);
+        for backend in selected_backends() {
+            let (b, s): (RunReport<usize>, RunReport<usize>) = match backend {
+                Backend::Arena => (
+                    PooledExecutor::new(threads)
+                        .run(&graph, staggered_programs(graph.n(), depth), &config)
+                        .unwrap(),
+                    PooledExecutor::new(threads)
+                        .run(&graph, sends_programs(graph.n(), depth), &config)
+                        .unwrap(),
+                ),
+                Backend::Channels => (
+                    ChannelExecutor::new(groups, threads)
+                        .run(&graph, staggered_programs(graph.n(), depth), &config)
+                        .unwrap(),
+                    ChannelExecutor::new(groups, threads)
+                        .run(&graph, sends_programs(graph.n(), depth), &config)
+                        .unwrap(),
+                ),
+            };
+            prop_assert_eq!(&bcast, &b, "broadcast twin, backend {:?}", backend);
+            prop_assert_eq!(&sends, &s, "send twin, backend {:?}", backend);
         }
     }
 }
@@ -231,6 +341,33 @@ proptest! {
         for report in socket_run_both(&graph, || staggered_programs(graph.n(), depth), &config) {
             prop_assert_eq!(&seq, &report);
         }
+    }
+}
+
+// The broadcast/send twin equivalence over a real loopback socket: the
+// broadcast twin ships one cross-shard broadcast entry per node per round,
+// the send twin one entry per edge — both endpoints still assemble reports
+// that match their sync references bit for bit, and the two references
+// differ only in stored payloads.
+#[test]
+fn socket_broadcast_and_send_twins_agree_over_loopback() {
+    let graph = generators::gnp(30, 0.2, 11);
+    let config = ExecutorConfig::default();
+    let bcast = SyncExecutor
+        .run(&graph, staggered_programs(graph.n(), 4), &config)
+        .unwrap();
+    let sends = SyncExecutor
+        .run(&graph, sends_programs(graph.n(), 4), &config)
+        .unwrap();
+    assert_eq!(bcast.outputs, sends.outputs);
+    assert_eq!(bcast.messages, sends.messages);
+    assert_eq!(sends.payloads, sends.messages);
+    assert!(bcast.payloads < sends.payloads);
+    for report in socket_run_both(&graph, || staggered_programs(graph.n(), 4), &config) {
+        assert_eq!(bcast, report);
+    }
+    for report in socket_run_both(&graph, || sends_programs(graph.n(), 4), &config) {
+        assert_eq!(sends, report);
     }
 }
 
