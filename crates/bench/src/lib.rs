@@ -545,7 +545,14 @@ pub fn run_experiment(id: &str) -> String {
 /// (the sequential reference would double the sweep's wall budget at
 /// `n = 10⁶`), so determinism there is pinned by the baseline comparison
 /// instead of an in-process assert.
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+///
+/// v6 added the `"measured_netdecomp_rounds"` field: engine rounds of the
+/// measured GK18 carving-wave phase of the Theorem 1.1 route (zero on the
+/// coloring route). Until v6 the network decomposition was a centrally
+/// simulated *charged* phase; now that the carving schedule runs on the
+/// engine, the trend gate pins its per-instance round cost exactly, just
+/// like the coloring rounds.
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// Smallest `n` at which the benchmark additionally times the Theorem 1.2
 /// route on the 4-thread persistent-pool executor. Below this the run is
@@ -637,6 +644,7 @@ fn bench_entry(
             "\"route\": \"{}\", \"executor\": \"{}\", \"transport\": \"{}\", ",
             "\"size\": {}, \"lp_lower_bound\": {:.3}, ",
             "\"measured_engine_rounds\": {}, \"measured_coloring_rounds\": {}, ",
+            "\"measured_netdecomp_rounds\": {}, ",
             "\"simulated_rounds\": {}, ",
             "\"formula_rounds\": {}, \"messages\": {}, \"payloads\": {}, ",
             "\"wall_ms\": {:.3}, ",
@@ -654,6 +662,7 @@ fn bench_entry(
         r.lp_lower_bound,
         r.measured_engine_rounds(),
         r.measured_coloring_rounds(),
+        r.measured_netdecomp_rounds(),
         r.ledger.total_simulated_rounds(),
         r.ledger.total_formula_rounds(),
         r.ledger.total_messages(),
@@ -841,7 +850,7 @@ mod tests {
         let json = pipeline_benchmark_json(&[30]);
         for key in [
             "\"benchmark\": \"pipeline\"",
-            "\"schema_version\": 5",
+            "\"schema_version\": 6",
             "\"graph\": \"gnp_n30_",
             "\"route\": \"theorem_1_1\"",
             "\"route\": \"theorem_1_2\"",
@@ -849,6 +858,7 @@ mod tests {
             "\"transport\": \"arena\"",
             "\"measured_engine_rounds\"",
             "\"measured_coloring_rounds\"",
+            "\"measured_netdecomp_rounds\"",
             "\"simulated_rounds\"",
             "\"formula_rounds\"",
             "\"payloads\"",
@@ -876,11 +886,13 @@ mod tests {
             .find(|l| l.contains("theorem_1_2"))
             .expect("theorem_1_2 entry present");
         assert!(!coloring_route.contains("\"measured_coloring_rounds\": 0"));
+        assert!(coloring_route.contains("\"measured_netdecomp_rounds\": 0"));
         let nd_route = json
             .lines()
             .find(|l| l.contains("theorem_1_1"))
             .expect("theorem_1_1 entry present");
         assert!(nd_route.contains("\"measured_coloring_rounds\": 0"));
+        assert!(!nd_route.contains("\"measured_netdecomp_rounds\": 0"));
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct BenchRun {
     pub measured_engine_rounds: u64,
     /// Engine rounds of the measured Lemma 3.12 coloring phases.
     pub measured_coloring_rounds: u64,
+    /// Engine rounds of the measured GK18 carving-wave network-decomposition
+    /// phase of the Theorem 1.1 route (schema v6); zero on the coloring
+    /// route, which never decomposes.
+    pub measured_netdecomp_rounds: u64,
     /// Total simulated rounds charged in the ledger.
     pub simulated_rounds: u64,
     /// Total paper-formula rounds charged in the ledger.
@@ -163,6 +167,7 @@ pub fn parse(json: &str) -> Result<BenchFile, String> {
                 size: u64_field(line, "size")?,
                 measured_engine_rounds: u64_field(line, "measured_engine_rounds")?,
                 measured_coloring_rounds: u64_field(line, "measured_coloring_rounds")?,
+                measured_netdecomp_rounds: u64_field(line, "measured_netdecomp_rounds")?,
                 simulated_rounds: u64_field(line, "simulated_rounds")?,
                 formula_rounds: u64_field(line, "formula_rounds")?,
                 messages: u64_field(line, "messages")?,
@@ -266,6 +271,11 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile) -> TrendReport {
                 cur.measured_coloring_rounds,
             ),
             (
+                "measured_netdecomp_rounds",
+                base.measured_netdecomp_rounds,
+                cur.measured_netdecomp_rounds,
+            ),
+            (
                 "simulated_rounds",
                 base.simulated_rounds,
                 cur.simulated_rounds,
@@ -353,14 +363,15 @@ mod tests {
     fn sample(wall: f64, rounds: u64) -> String {
         format!(
             concat!(
-                "{{\n  \"benchmark\": \"pipeline\",\n  \"schema_version\": 5,\n",
+                "{{\n  \"benchmark\": \"pipeline\",\n  \"schema_version\": 6,\n",
                 "  \"runs\": [\n",
                 "    {{\"n\": 50, \"m\": 180, \"max_degree\": 11, ",
                 "\"graph\": \"gnp_n50_p0.16\", \"route\": \"theorem_1_1\", ",
                 "\"executor\": \"sync\", \"transport\": \"arena\", ",
                 "\"size\": 17, \"lp_lower_bound\": 7.1, ",
                 "\"measured_engine_rounds\": {rounds}, ",
-                "\"measured_coloring_rounds\": 0, \"simulated_rounds\": 900, ",
+                "\"measured_coloring_rounds\": 0, ",
+                "\"measured_netdecomp_rounds\": 7, \"simulated_rounds\": 900, ",
                 "\"formula_rounds\": 5000, \"messages\": 12345, ",
                 "\"payloads\": 678, ",
                 "\"wall_ms\": {wall:.3}, \"wall_mwu_ms\": 1.0, ",
@@ -404,19 +415,22 @@ mod tests {
     fn foreign_schema_versions_get_directional_errors_not_field_noise() {
         // A file from a *newer* binary: its lines carry fields this parser
         // has never heard of — the guard must fire before any field error.
-        let newer = sample(1.0, 5).replace("\"schema_version\": 5", "\"schema_version\": 99");
+        let newer = sample(1.0, 5).replace("\"schema_version\": 6", "\"schema_version\": 99");
         let err = parse(&newer).unwrap_err();
         assert!(err.contains("newer than this binary"), "{err}");
         assert!(err.contains("rebuild the binary"), "{err}");
 
         // A file from an *older* binary points at regeneration instead.
         let older = sample(1.0, 5)
-            .replace("\"schema_version\": 5", "\"schema_version\": 4")
-            .replace("\"payloads\": 678, ", "");
+            .replace("\"schema_version\": 6", "\"schema_version\": 5")
+            .replace("\"measured_netdecomp_rounds\": 7, ", "");
         let err = parse(&older).unwrap_err();
         assert!(err.contains("older than this binary"), "{err}");
         assert!(err.contains("regenerate"), "{err}");
-        assert!(!err.contains("payloads"), "no field-level noise: {err}");
+        assert!(
+            !err.contains("measured_netdecomp_rounds"),
+            "no field-level noise: {err}"
+        );
     }
 
     #[test]
@@ -470,7 +484,7 @@ mod tests {
     fn schema_and_coverage_mismatches_fail() {
         let base = parse(&sample(10.0, 100)).unwrap();
         let mut newer = base.clone();
-        newer.schema_version = 6;
+        newer.schema_version = 7;
         assert!(compare(&base, &newer)
             .violations
             .iter()

@@ -276,6 +276,33 @@ pub mod formulas {
         }
     }
 
+    /// `Σ_p (D_p + 1)` — the exact round count of the measured GK18-style
+    /// network decomposition over its carving schedule: phase `p`'s join
+    /// wave needs `D_p` rounds to reach the deepest cluster member (the
+    /// phase's maximum cluster depth) plus one round for the centers'
+    /// opening broadcast, and the phase windows are disjoint so the totals
+    /// add. `total_wave_depth` is `Σ_p D_p`. An empty graph runs no phase
+    /// and spends zero rounds. Under Theorem 3.2 this must stay at or below
+    /// the paper charge [`netdecomp_charge_rounds`].
+    pub fn measured_netdecomp_rounds(phases: u64, total_wave_depth: u64) -> u64 {
+        if phases == 0 {
+            0
+        } else {
+            total_wave_depth + phases
+        }
+    }
+
+    /// `k · 2^{O(√(log n log log n))}` — the paper charge for the `k`-hop
+    /// network decomposition (Theorem 3.2 scaled by the separation
+    /// parameter), floored at 2 rounds: even a degenerate one-phase instance
+    /// spends one wave round plus the observing round in which every node
+    /// halts — the same convention as the `Δ_L = 0` floor of
+    /// [`bipartite_coloring_rounds`], so zero-growth instances never assert
+    /// `measured > charged`.
+    pub fn netdecomp_charge_rounds(n: usize, k: usize) -> u64 {
+        ((k.max(1) as u64) * gk18_decomposition_rounds(n)).max(2)
+    }
+
     /// `O(C)` — Lemma 3.10: one round per color class of the distance-two
     /// coloring, with a constant number of rounds of bookkeeping per class.
     pub fn coloring_derandomization_rounds(num_colors: usize) -> u64 {
@@ -412,6 +439,11 @@ pub mod formulas {
             assert_eq!(measured_coloring_rounds(7), 14);
             // Zero reduction steps still cost the one observing round.
             assert_eq!(measured_coloring_rounds(0), 1);
+            // One wave round per unit of depth plus one opening round per
+            // phase; an empty graph runs no phase at all.
+            assert_eq!(measured_netdecomp_rounds(3, 4), 7);
+            assert_eq!(measured_netdecomp_rounds(1, 0), 1);
+            assert_eq!(measured_netdecomp_rounds(0, 0), 0);
             // Under a coloring schedule the exact measured formula coincides
             // with the paper's Lemma 3.10 bound.
             assert_eq!(
@@ -428,6 +460,13 @@ pub mod formulas {
             // program's decide + observe rounds.
             assert_eq!(bipartite_coloring_rounds(0, 0, 2), 2);
             assert!(measured_coloring_rounds(1) <= bipartite_coloring_rounds(0, 0, 2));
+            // The floored netdecomp charge covers the degenerate one-phase,
+            // zero-depth decomposition (a single node, or all-singleton
+            // clusters) for every k, including k = 0 inputs clamped to 1.
+            assert_eq!(netdecomp_charge_rounds(1, 1), 2);
+            assert_eq!(netdecomp_charge_rounds(1, 0), 2);
+            assert!(measured_netdecomp_rounds(1, 0) <= netdecomp_charge_rounds(1, 2));
+            assert!(netdecomp_charge_rounds(64, 2) >= 2 * gk18_decomposition_rounds(64));
             assert!(coloring_derandomization_rounds(0) >= 1);
             assert!(netdecomp_derandomization_rounds(2, 1, 1) >= 1);
             assert!(cds_clustering_rounds(2) >= 1);

@@ -26,11 +26,11 @@
 //! the Part I fractional solver (when [`FractionalMethod::DistributedMwu`] is
 //! selected, the default), every Lemma 3.12 distance-two coloring of the
 //! coloring routes, and every conditional-expectation schedule of Parts
-//! II/III run as real node programs with *measured* round counts — on the
-//! Theorem 1.2 route all three phase kinds are measured, so the route is
-//! engine-measured end to end. Only the network decomposition of the
-//! Theorem 1.1 route stays centrally simulated and charged in closed form —
-//! one interleaved accounting stream either way.
+//! II/III run as real node programs with *measured* round counts — and the
+//! Theorem 1.1 network decomposition runs as the measured GK18-carving join
+//! waves ([`mds_decomposition::netdecomp::NetDecompProgram`]), so **both**
+//! theorem routes are engine-measured end to end: every round-spending phase
+//! is measured, with one interleaved accounting stream either way.
 //! [`central_oracle`] retains the pure in-memory implementation; the engine
 //! execution is property-tested bit-identical to it on both executors
 //! (`tests/properties.rs`).
@@ -49,7 +49,9 @@ use mds_decomposition::coloring::{
     assemble_coloring, bipartite_distance_two_coloring, distance_two_coloring_programs,
     BipartiteColoring,
 };
-use mds_decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
+use mds_decomposition::netdecomp::{
+    assemble_decomposition, netdecomp_programs, strong_diameter_decomposition, DecompositionConfig,
+};
 use mds_decomposition::NetworkDecomposition;
 use mds_fractional::lemma21::{
     apply_lemma21_floor, distributed_mwu_config, initial_fractional_solution, FractionalMethod,
@@ -168,6 +170,17 @@ impl MdsResult {
         self.phases
             .iter()
             .filter(|p| p.mode == PhaseMode::Measured && p.name.contains("Lemma 3.12"))
+            .map(|p| p.rounds)
+            .sum()
+    }
+
+    /// Rounds the measured GK18-carving network decomposition spent on the
+    /// engine (`0` on the coloring routes and for [`central_oracle`] runs,
+    /// which decompose centrally).
+    pub fn measured_netdecomp_rounds(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.mode == PhaseMode::Measured && p.name.contains("GK18 carving"))
             .map(|p| p.rounds)
             .sum()
     }
@@ -505,8 +518,27 @@ where
     assignment
 }
 
+/// Flattens a decomposition's clusters, in color order, into the coin-fixing
+/// groups of the Theorem 1.1 route (member identifiers per cluster) — shared
+/// by the measured engine phase and the central oracle.
+fn nd_groups_of(nd: &NetworkDecomposition) -> Vec<Vec<usize>> {
+    nd.clusters_by_color()
+        .into_iter()
+        .flatten()
+        .map(|ci| {
+            nd.clusters.clusters[ci]
+                .members
+                .iter()
+                .map(|v| v.0)
+                .collect()
+        })
+        .collect()
+}
+
 /// Precomputes the network decomposition (and its flattened coin-fixing
 /// groups) for the Theorem 1.1 route; charges its construction to `ledger`.
+/// Used by [`central_oracle`] — composed runs execute the decomposition as a
+/// measured engine phase instead.
 fn precompute_decomposition(
     graph: &Graph,
     config: &MdsConfig,
@@ -521,19 +553,7 @@ fn precompute_decomposition(
         }
         _ => None,
     };
-    let nd_groups = decomposition.as_ref().map(|nd| {
-        nd.clusters_by_color()
-            .into_iter()
-            .flatten()
-            .map(|ci| {
-                nd.clusters.clusters[ci]
-                    .members
-                    .iter()
-                    .map(|v| v.0)
-                    .collect()
-            })
-            .collect()
-    });
+    let nd_groups = decomposition.as_ref().map(nd_groups_of);
     (decomposition, nd_groups)
 }
 
@@ -547,10 +567,12 @@ pub fn run(graph: &Graph, config: &MdsConfig) -> MdsResult {
 /// on `executor`: measured node programs for the fractional solver (when
 /// [`FractionalMethod::DistributedMwu`] is selected), for every Lemma 3.12
 /// distance-two coloring of the coloring routes, and for every
-/// conditional-expectation schedule; charged phases for the centrally
-/// simulated constructions (the Theorem 1.1 network decomposition). The
-/// result is bit-identical to [`central_oracle`] (property-tested), only the
-/// ledger differs — it now carries *measured* round counts for the hot path.
+/// conditional-expectation schedule, and for the Theorem 1.1 network
+/// decomposition (the GK18-carving join waves of
+/// [`mds_decomposition::netdecomp::NetDecompProgram`]) — every round-spending
+/// phase runs measured on the engine. The result is bit-identical to
+/// [`central_oracle`] (property-tested), only the ledger differs — it now
+/// carries *measured* round counts for the hot path.
 pub fn run_on<E: Executor>(graph: &Graph, config: &MdsConfig, executor: &E) -> MdsResult {
     let mut composer = ComposedProgram::new(graph, executor, ExecutorConfig::default());
     let mut stages = Vec::new();
@@ -602,10 +624,41 @@ pub fn run_on<E: Executor>(graph: &Graph, config: &MdsConfig, executor: &E) -> M
         fractionality: assignment.fractionality(),
     });
 
-    // Precompute the derandomization structure shared by all rounding steps.
-    let mut nd_ledger = RoundLedger::new();
-    let (decomposition, nd_groups) = precompute_decomposition(graph, config, &mut nd_ledger);
-    composer.absorb(nd_ledger);
+    // ---- Network decomposition (Theorem 1.1 route), measured on the
+    // engine: the pure carving schedule runs as per-phase BFS join waves
+    // (substitution R2 made measured), bit-identical to the central
+    // [`strong_diameter_decomposition`] oracle by construction. ----
+    let (decomposition, nd_groups) = match &config.route {
+        DerandRoute::NetworkDecomposition { k } => {
+            let k = (*k).max(1);
+            let (programs, schedule) =
+                netdecomp_programs(graph, k, &DecompositionConfig::default());
+            let charge = formulas::netdecomp_charge_rounds(graph.n(), k);
+            let report = composer
+                .measured(
+                    PhaseSpec::named("network decomposition (GK18 carving, measured)")
+                        .with_formula(charge),
+                    programs,
+                )
+                .expect("network decomposition program is well-formed");
+            debug_assert_eq!(
+                report.rounds,
+                formulas::measured_netdecomp_rounds(
+                    schedule.num_phases as u64,
+                    schedule.total_wave_depth()
+                )
+            );
+            debug_assert!(
+                report.rounds <= charge,
+                "measured netdecomp rounds {} exceed the Theorem 3.2 charge {charge}",
+                report.rounds
+            );
+            let nd = assemble_decomposition(&report.outputs, &schedule);
+            let groups = nd_groups_of(&nd);
+            (Some(nd), Some(groups))
+        }
+        _ => (None, None),
+    };
 
     // ---- Parts II and III, every rounding step measured on the engine. ----
     let assignment = rounding_parts(graph, config, assignment, &mut stages, |problem| {
@@ -888,6 +941,47 @@ mod tests {
         assert_eq!(central_oracle(&g, &config).measured_coloring_rounds(), 0);
         assert_eq!(
             theorem_1_1(&g, &quick_config()).measured_coloring_rounds(),
+            0
+        );
+    }
+
+    #[test]
+    fn netdecomp_phase_is_measured_and_below_the_paper_charge() {
+        let g = generators::gnp(50, 0.1, 4);
+        let result = theorem_1_1(&g, &quick_config());
+        let nd_phases: Vec<_> = result
+            .ledger
+            .phases()
+            .iter()
+            .filter(|p| p.name == "network decomposition (GK18 carving, measured)")
+            .collect();
+        assert_eq!(nd_phases.len(), 1, "exactly one decomposition per run");
+        let phase = nd_phases[0];
+        assert!(phase.simulated_rounds >= 1);
+        assert!(
+            phase.simulated_rounds <= phase.formula_rounds.unwrap(),
+            "measured {} > Theorem 3.2 charge {:?}",
+            phase.simulated_rounds,
+            phase.formula_rounds
+        );
+        assert_eq!(result.measured_netdecomp_rounds(), phase.simulated_rounds);
+        // With the decomposition measured, every round-spending phase of the
+        // Theorem 1.1 route runs on the engine.
+        for p in &result.phases {
+            assert!(
+                p.mode == PhaseMode::Measured || p.rounds == 0,
+                "charged round-spending phase: {} ({} rounds)",
+                p.name,
+                p.rounds
+            );
+        }
+        // The oracle decomposes centrally; the coloring route never does.
+        assert_eq!(
+            central_oracle(&g, &quick_config()).measured_netdecomp_rounds(),
+            0
+        );
+        assert_eq!(
+            theorem_1_2(&g, &quick_config()).measured_netdecomp_rounds(),
             0
         );
     }

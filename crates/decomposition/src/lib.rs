@@ -9,7 +9,10 @@
 //!   decompositions (Definition 3.2). The GK18 construction the paper cites as
 //!   a black box (Theorem 3.2) is replaced by deterministic ball carving with
 //!   `k`-wide separators (substitution R2 in `DESIGN.md`); the object produced
-//!   has the same `(k·O(log n), O(log n))` quality parameters.
+//!   has the same `(k·O(log n), O(log n))` quality parameters. The carving is
+//!   planned as a pure `CarvingSchedule` and runs **measured** on the engine
+//!   (`NetDecompProgram`: per-phase BFS join waves, one broadcast per node),
+//!   bit-identical to the retained central oracle.
 //! * [`coloring`] — deterministic distance-two colorings, in particular the
 //!   bipartite coloring of Lemma 3.12 with at most `Δ_L·Δ_R` colors.
 //! * [`ruling_set`] — deterministic `(α, α-1)`-ruling sets, used by the CDS
@@ -37,4 +40,9 @@ pub mod ruling_set;
 pub mod spanner;
 
 pub use cluster::{Cluster, ClusterGraph};
-pub use netdecomp::{strong_diameter_decomposition, DecompositionConfig, NetworkDecomposition};
+pub use netdecomp::{
+    assemble_decomposition, carving_schedule, clusters_from_schedule, distributed_decomposition,
+    distributed_decomposition_on, netdecomp_programs, netdecomp_programs_from_schedule,
+    strong_diameter_decomposition, CarvingSchedule, DecompositionConfig,
+    DistributedDecompositionOutcome, NetDecompOutput, NetDecompProgram, NetworkDecomposition,
+};

@@ -77,6 +77,11 @@ fn serialize(route: &str, result: &MdsResult) -> String {
         "totals.measured_coloring_rounds={}",
         result.measured_coloring_rounds()
     );
+    let _ = writeln!(
+        out,
+        "totals.measured_netdecomp_rounds={}",
+        result.measured_netdecomp_rounds()
+    );
     for (i, s) in result.stages.iter().enumerate() {
         let _ = writeln!(out, "stage[{i}].name={}", s.name);
         let _ = writeln!(out, "stage[{i}].size={}", s.size);

@@ -265,6 +265,127 @@ fn broadcast_on_isolated_nodes_is_a_free_noop_on_every_backend() {
     });
 }
 
+// ---- the measured network decomposition ----
+
+#[test]
+fn netdecomp_program_survives_empty_edgeless_and_single_node_graphs() {
+    use congest_mds::decomposition::netdecomp::{distributed_decomposition, DecompositionConfig};
+
+    let config = DecompositionConfig::default();
+
+    // The empty graph: no phase is scheduled, so the run spends zero rounds
+    // and produces zero clusters. The pipeline agrees with its oracle.
+    let empty = Graph::empty(0);
+    let run = distributed_decomposition(&empty, 2, &config).unwrap();
+    assert_eq!(run.report.rounds, 0);
+    assert_eq!(run.schedule.num_phases, 0);
+    assert!(run.decomposition.clusters.is_empty());
+    let nd_config = MdsConfig {
+        route: DerandRoute::NetworkDecomposition { k: 2 },
+        ..MdsConfig::default()
+    };
+    let pipeline_run = pipeline::run(&empty, &nd_config);
+    assert!(pipeline_run.dominating_set.is_empty());
+    assert_eq!(
+        pipeline_run.dominating_set,
+        pipeline::central_oracle(&empty, &nd_config).dominating_set
+    );
+
+    // Edgeless: every node is its own carve center — one phase, zero wave
+    // depth, one observing round, zero messages; the floored Theorem 3.2
+    // charge still covers it.
+    let edgeless = Graph::empty(5);
+    let run = distributed_decomposition(&edgeless, 2, &config).unwrap();
+    assert_eq!(run.schedule.num_phases, 1);
+    assert_eq!(run.report.rounds, 1);
+    assert_eq!(run.report.messages, 0);
+    assert_eq!(run.decomposition.clusters.len(), 5);
+    assert!(run.report.rounds <= formulas::netdecomp_charge_rounds(5, 2));
+    let pipeline_run = pipeline::run(&edgeless, &nd_config);
+    assert_eq!(pipeline_run.dominating_set.len(), 5);
+    assert_eq!(
+        pipeline_run.dominating_set,
+        pipeline::central_oracle(&edgeless, &nd_config).dominating_set
+    );
+
+    // A single node: the fully degenerate instance of the same shape.
+    let single = Graph::empty(1);
+    let run = distributed_decomposition(&single, 2, &config).unwrap();
+    assert_eq!(run.report.rounds, 1);
+    assert_eq!(run.decomposition.clusters.len(), 1);
+    assert!(run.report.rounds <= formulas::netdecomp_charge_rounds(1, 2));
+}
+
+#[test]
+fn misaligned_decomposition_plan_is_rejected_and_records_nothing() {
+    use congest_mds::decomposition::netdecomp::{
+        carving_schedule, netdecomp_programs, netdecomp_programs_from_schedule, DecompositionConfig,
+    };
+
+    let g = generators::path(6);
+    let config = DecompositionConfig::default();
+
+    // A schedule carved for a different network is rejected up front.
+    let schedule = carving_schedule(&generators::path(4), 2, &config);
+    let err = netdecomp_programs_from_schedule(&g, &schedule).unwrap_err();
+    assert!(err.contains("graph-aligned"), "{err}");
+
+    // A corrupted phase index is rejected.
+    let mut wild = carving_schedule(&g, 2, &config);
+    wild.phase[2] = wild.num_phases + 3;
+    let err = netdecomp_programs_from_schedule(&g, &wild).unwrap_err();
+    assert!(err.contains("out of range"), "{err}");
+
+    // Feeding a phase built for the wrong graph through the composer fails
+    // with the engine's alignment error and leaves no ledger trace — the
+    // composer stays usable for the correctly sized decomposition phase.
+    let (programs, _) = netdecomp_programs(&generators::path(4), 2, &config);
+    let mut composed = ComposedProgram::new(&g, &SyncExecutor, ExecutorConfig::default());
+    let err = composed
+        .measured(PhaseSpec::named("misaligned netdecomp"), programs)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ExecutionError::ProgramCountMismatch {
+            programs: 4,
+            nodes: 6
+        }
+    ));
+    assert_eq!(composed.ledger().phases().len(), 0);
+    let (programs, schedule) = netdecomp_programs(&g, 2, &config);
+    let ok = composed
+        .measured(PhaseSpec::named("aligned netdecomp"), programs)
+        .unwrap();
+    assert_eq!(ok.rounds, schedule.wave_rounds());
+    let report = composed.finish();
+    assert_eq!(report.phases.len(), 1);
+}
+
+#[test]
+fn degenerate_one_center_instance_spends_the_floored_charge() {
+    use congest_mds::decomposition::netdecomp::{
+        distributed_decomposition, strong_diameter_decomposition, DecompositionConfig,
+    };
+
+    // A complete graph is carved in a single phase by a single center (node
+    // 0): the join wave takes one round, every other node joins at depth 1,
+    // and all nodes halt in the observing round after it — exactly
+    // `measured_netdecomp_rounds(1, 1) = 2` rounds, which is the floor of
+    // the Theorem 3.2 charge.
+    let g = generators::complete(12);
+    let config = DecompositionConfig::default();
+    let oracle = strong_diameter_decomposition(&g, 2, &config);
+    assert_eq!(oracle.clusters.len(), 1);
+    assert_eq!(oracle.num_colors(), 1);
+    let run = distributed_decomposition(&g, 2, &config).unwrap();
+    assert_eq!(run.decomposition.clusters, oracle.clusters);
+    assert_eq!(run.schedule.num_phases, 1);
+    assert_eq!(run.schedule.total_wave_depth(), 1);
+    assert_eq!(run.report.rounds, formulas::measured_netdecomp_rounds(1, 1));
+    assert_eq!(run.report.rounds, 2);
+    assert!(run.report.rounds <= formulas::netdecomp_charge_rounds(g.n(), 2));
+}
+
 #[test]
 fn coloring_program_on_the_empty_graph_is_a_noop() {
     let g = Graph::empty(0);

@@ -1,0 +1,263 @@
+//! Conformance suite for the measured GK18 network decomposition
+//! (Theorem 3.2, substitution R2): the [`NetDecompProgram`] engine execution
+//! is property-tested bit-identical to the central
+//! `strong_diameter_decomposition` oracle — valid under `verify`, within the
+//! `O(log n)` chromatic and `k·O(log n)` diameter bounds, spending exactly
+//! `measured_netdecomp_rounds` engine rounds and never more than the
+//! Theorem 3.2 paper charge — across the ring / star / unit-disk / gnp / gnm
+//! generator sweep, on the sync, parallel and pooled executors and the
+//! `TRANSPORT_BACKEND` matrix (plus a loopback-socket smoke), honoring
+//! `PARALLEL_THREADS`.
+//!
+//! [`NetDecompProgram`]: congest_mds::decomposition::netdecomp::NetDecompProgram
+
+use congest_mds::congest::ledger::formulas;
+use congest_mds::congest::{
+    ExecutorConfig, Graph, NodeId, ParallelExecutor, PooledExecutor, SyncExecutor,
+};
+use congest_mds::decomposition::netdecomp::{
+    assemble_decomposition, carving_schedule, distributed_decomposition_on, netdecomp_programs,
+    strong_diameter_decomposition, DecompositionConfig, NetworkDecomposition,
+};
+use congest_mds::graphs::generators;
+use congest_mds::transport::{ChannelExecutor, Role, SocketListener, SocketSession};
+use proptest::prelude::*;
+use std::thread;
+use std::time::Duration;
+
+/// Worker-thread count for the executor-equivalence checks; CI's conformance
+/// job forces `PARALLEL_THREADS=4` on a multicore runner.
+fn forced_threads(fallback: usize) -> usize {
+    std::env::var("PARALLEL_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(fallback)
+        .max(1)
+}
+
+/// The backend dimension of the CI conformance matrix, as in
+/// `tests/transport_conformance.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The in-process arena moved by the persistent worker pool.
+    Arena,
+    /// The serialized mpsc-channel backend (`ChannelExecutor`).
+    Channels,
+}
+
+/// Backends selected by `TRANSPORT_BACKEND`; unset exercises both.
+fn selected_backends() -> Vec<Backend> {
+    match std::env::var("TRANSPORT_BACKEND").ok().as_deref() {
+        Some("arena") => vec![Backend::Arena],
+        Some("channels") => vec![Backend::Channels],
+        _ => vec![Backend::Arena, Backend::Channels],
+    }
+}
+
+/// The generator sweep named by the issue: ring, star, unit-disk, G(n,p) and
+/// G(n,m) topologies.
+fn sweep_graph(which: u8, size: usize, seed: u64) -> Graph {
+    match which % 5 {
+        0 => generators::cycle(size.max(3)),
+        1 => generators::star(size.max(2)),
+        2 => generators::unit_disk(size.max(4), 0.3, seed),
+        3 => generators::gnp(size.max(2), 0.12, seed),
+        _ => generators::gnm(size.max(2), size * 2, seed),
+    }
+}
+
+/// Validity of the decomposition object itself: Definition 3.1/3.2
+/// invariants plus the carving's `O(log n)` quality parameters and full
+/// coverage.
+fn assert_decomposition_quality(graph: &Graph, nd: &NetworkDecomposition, k: usize) {
+    nd.verify(graph).expect("decomposition invalid");
+    let clustered: usize = nd.clusters.clusters.iter().map(|c| c.len()).sum();
+    assert_eq!(clustered, graph.n(), "every node must be clustered");
+    let log_n = (graph.n().max(2) as f64).log2();
+    assert!(
+        nd.num_colors() as f64 <= 2.0 * log_n + 1.0,
+        "{} colors exceed the O(log n) chromatic bound for n = {}",
+        nd.num_colors(),
+        graph.n()
+    );
+    assert!(
+        nd.diameter() as f64 <= k as f64 * (log_n + 1.0),
+        "diameter {} exceeds the k·O(log n) bound for k = {k}, n = {}",
+        nd.diameter(),
+        graph.n()
+    );
+}
+
+/// Runs the full conformance check for one instance (the vendored proptest
+/// shim is panic-based, so failures assert directly).
+fn assert_conformance(graph: &Graph, k: usize, threads: usize, groups: usize) {
+    let config = DecompositionConfig::default();
+    let oracle = strong_diameter_decomposition(graph, k, &config);
+    assert_decomposition_quality(graph, &oracle, k);
+
+    let exec_config = ExecutorConfig::default();
+    let sync = distributed_decomposition_on(graph, k, &config, &SyncExecutor, &exec_config)
+        .expect("sequential engine run failed");
+
+    // Bit-identical clusters and colors (the ledgers differ by design: the
+    // engine's carries measured payload counts).
+    assert_eq!(sync.decomposition.clusters, oracle.clusters);
+    assert_eq!(sync.decomposition.k, oracle.k);
+    assert_decomposition_quality(graph, &sync.decomposition, k);
+
+    // Exactly the carving schedule's wave rounds, at most the Theorem 3.2
+    // paper charge; every node broadcasts its join once (2m messages, one
+    // stored payload per non-isolated node via the broadcast fast path).
+    let schedule = carving_schedule(graph, k, &config);
+    assert_eq!(sync.report.rounds, sync.schedule.wave_rounds());
+    assert_eq!(
+        sync.report.rounds,
+        formulas::measured_netdecomp_rounds(
+            schedule.num_phases as u64,
+            schedule.total_wave_depth()
+        )
+    );
+    let charge = formulas::netdecomp_charge_rounds(graph.n(), k);
+    assert!(
+        sync.report.rounds <= charge,
+        "measured {} rounds exceed the Theorem 3.2 charge {charge}",
+        sync.report.rounds
+    );
+    assert_eq!(sync.report.messages, 2 * graph.m() as u64);
+    let isolated = (0..graph.n())
+        .filter(|&v| graph.degree(NodeId(v)) == 0)
+        .count();
+    assert_eq!(sync.report.payloads, (graph.n() - isolated) as u64);
+    let ledger_phase = &sync.ledger.phases()[0];
+    assert_eq!(
+        ledger_phase.name,
+        "network decomposition (GK18 carving, measured)"
+    );
+    assert_eq!(ledger_phase.formula_rounds, Some(charge));
+
+    // Every executor and selected transport backend reproduces the
+    // sequential report — and hence the oracle's clusters — bit for bit.
+    let par = distributed_decomposition_on(
+        graph,
+        k,
+        &config,
+        &ParallelExecutor::new(threads),
+        &exec_config,
+    )
+    .expect("parallel engine run failed");
+    assert_eq!(par.report, sync.report);
+    assert_eq!(par.decomposition.clusters, oracle.clusters);
+    for backend in selected_backends() {
+        let run = match backend {
+            Backend::Arena => distributed_decomposition_on(
+                graph,
+                k,
+                &config,
+                &PooledExecutor::new(threads),
+                &exec_config,
+            ),
+            Backend::Channels => distributed_decomposition_on(
+                graph,
+                k,
+                &config,
+                &ChannelExecutor::new(groups, threads),
+                &exec_config,
+            ),
+        }
+        .expect("backend engine run failed");
+        assert_eq!(run.report, sync.report, "backend {backend:?}");
+        assert_eq!(
+            run.decomposition.clusters, oracle.clusters,
+            "backend {backend:?}"
+        );
+        assert_eq!(run.ledger, sync.ledger, "backend {backend:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The headline conformance property over the generator sweep, the
+    // separation parameters the paper uses (k = 2) and beyond.
+    #[test]
+    fn netdecomp_program_conforms_across_the_sweep(
+        which in 0u8..5,
+        size in 3usize..44,
+        seed in 0u64..500,
+        k in 1usize..4,
+        threads in 2usize..6,
+        groups in 2usize..6,
+    ) {
+        let graph = sweep_graph(which, size, seed);
+        assert_conformance(&graph, k, forced_threads(threads), groups);
+    }
+
+    // The carving schedule is a pure function of IDs and topology: centers
+    // are the minimum member identifiers of their clusters, phases tile the
+    // round timeline, and every cluster's color is its members' phase.
+    #[test]
+    fn carving_schedule_is_consistent_with_its_clusters(
+        which in 0u8..5,
+        size in 3usize..44,
+        seed in 0u64..500,
+        k in 1usize..4,
+    ) {
+        let graph = sweep_graph(which, size, seed);
+        let config = DecompositionConfig::default();
+        let schedule = carving_schedule(&graph, k, &config);
+        let nd = strong_diameter_decomposition(&graph, k, &config);
+        let mut next = 0usize;
+        for p in 0..schedule.num_phases {
+            prop_assert_eq!(schedule.phase_start[p], next);
+            next += schedule.wave_depth[p] + 1;
+        }
+        prop_assert_eq!(schedule.total_rounds, next);
+        for (ci, cluster) in nd.clusters.clusters.iter().enumerate() {
+            prop_assert_eq!(cluster.leader, *cluster.members.iter().min().unwrap());
+            prop_assert!(schedule.center[cluster.leader.0]);
+            for &v in &cluster.members {
+                prop_assert_eq!(schedule.phase[v.0], nd.clusters.colors[ci]);
+            }
+        }
+    }
+}
+
+/// The socket smoke of the conformance matrix: the decomposition programs
+/// run across a real loopback TCP session, and both OS-level endpoints
+/// assemble the sequential report — and hence the oracle's clusters — bit
+/// for bit.
+#[test]
+fn netdecomp_program_over_loopback_socket_matches_the_oracle() {
+    let graph = generators::gnp(36, 0.12, 19);
+    let k = 2;
+    let config = DecompositionConfig::default();
+    let exec_config = ExecutorConfig::default();
+    let oracle = strong_diameter_decomposition(&graph, k, &config);
+    let sync = distributed_decomposition_on(&graph, k, &config, &SyncExecutor, &exec_config)
+        .expect("sequential engine run failed");
+    assert_eq!(sync.decomposition.clusters, oracle.clusters);
+
+    let listener = SocketListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (leader, follower) = thread::scope(|s| {
+        let follower = s.spawn(|| {
+            let mut session = SocketSession::connect(addr, Duration::from_secs(30)).unwrap();
+            session.set_timeout(Duration::from_secs(120));
+            let (programs, _) = netdecomp_programs(&graph, k, &config);
+            session.run_program(Role::Follower, &graph, programs, &exec_config)
+        });
+        let mut session = listener.accept().unwrap();
+        session.set_timeout(Duration::from_secs(120));
+        let (programs, schedule) = netdecomp_programs(&graph, k, &config);
+        let leader = session.run_program(Role::Leader, &graph, programs, &exec_config);
+        (
+            (leader.unwrap(), schedule),
+            follower.join().expect("follower thread").unwrap(),
+        )
+    });
+    let (leader_report, schedule) = leader;
+    assert_eq!(leader_report, sync.report);
+    assert_eq!(follower, sync.report);
+    let assembled = assemble_decomposition(&leader_report.outputs, &schedule);
+    assert_eq!(assembled.clusters, oracle.clusters);
+}

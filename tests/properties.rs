@@ -1,11 +1,14 @@
 //! Property-based integration tests (proptest): invariants of the core data
 //! structures and algorithms over randomly generated graphs and assignments.
 
+use congest_mds::congest::ledger::formulas;
 use congest_mds::congest::{
     Executor, ExecutorConfig, Graph, Inbox, NodeContext, NodeId, NodeProgram, Outbox,
     ParallelExecutor, PooledExecutor, RoundAction, RunReport, SyncExecutor,
 };
-use congest_mds::decomposition::netdecomp::{strong_diameter_decomposition, DecompositionConfig};
+use congest_mds::decomposition::netdecomp::{
+    carving_schedule, strong_diameter_decomposition, DecompositionConfig,
+};
 use congest_mds::decomposition::spanner::{derandomized_spanner, verify_spanner};
 use congest_mds::fractional::lp;
 use congest_mds::fractional::FractionalAssignment;
@@ -658,6 +661,101 @@ proptest! {
             coloring_phases.iter().map(|p| p.simulated_rounds).sum::<u64>()
         );
         prop_assert_eq!(oracle.measured_coloring_rounds(), 0);
+
+        // Engine-measured end to end: every phase of the composed run that
+        // spent rounds ran on the engine — the only charged phases left on
+        // this route are zero-round bookkeeping. The oracle never touches
+        // the engine. The measured total stays at or below the summed paper
+        // charges.
+        prop_assert!(sync
+            .phases
+            .iter()
+            .all(|p| p.mode == PhaseMode::Measured || p.rounds == 0));
+        prop_assert_eq!(oracle.measured_engine_rounds(), 0);
+        prop_assert!(
+            sync.measured_engine_rounds() <= sync.ledger.total_formula_rounds(),
+            "measured total {} exceeds the summed paper charges {}",
+            sync.measured_engine_rounds(),
+            sync.ledger.total_formula_rounds()
+        );
+    }
+
+    // The end-to-end Theorem 1.1 acceptance property, now that the GK18
+    // network decomposition (R2) runs measured alongside the MWU and the
+    // conditional-expectation schedules: the composed run is bit-for-bit the
+    // central oracle on all three executors, the decomposition phase spends
+    // exactly the carving schedule's wave rounds (never more than the
+    // Theorem 3.2 paper charge), and no round-spending phase on the route is
+    // charged.
+    #[test]
+    fn theorem_1_1_is_engine_measured_end_to_end(
+        n in 2usize..36,
+        p_num in 2u32..30,
+        seed in 0u64..500,
+        threads in 2usize..6,
+    ) {
+        use congest_mds::congest::PhaseMode;
+
+        let graph = generators::gnp(n, p_num as f64 / 100.0, seed);
+        let config = MdsConfig {
+            route: DerandRoute::NetworkDecomposition { k: 2 },
+            ..MdsConfig::default()
+        };
+        let oracle = pipeline::central_oracle(&graph, &config);
+        let sync = pipeline::theorem_1_1(&graph, &config);
+        let par = pipeline::theorem_1_1_on(
+            &graph,
+            &config,
+            &ParallelExecutor::new(forced_threads(threads)),
+        );
+        let pooled = pipeline::theorem_1_1_on(
+            &graph,
+            &config,
+            &PooledExecutor::new(forced_threads(threads)),
+        );
+
+        // Bit-for-bit the central oracle, on all three executors.
+        prop_assert_eq!(&sync.dominating_set, &oracle.dominating_set);
+        prop_assert_eq!(&sync.assignment, &oracle.assignment);
+        prop_assert_eq!(&sync.stages, &oracle.stages);
+        prop_assert_eq!(&par.dominating_set, &oracle.dominating_set);
+        prop_assert_eq!(&par.ledger, &sync.ledger);
+        prop_assert_eq!(&pooled.dominating_set, &oracle.dominating_set);
+        prop_assert_eq!(&pooled.ledger, &sync.ledger);
+        prop_assert!(verify::is_dominating_set(&graph, &sync.dominating_set));
+
+        // The decomposition ran as exactly one measured phase whose rounds
+        // are exactly the carving schedule's wave total and at most the
+        // Theorem 3.2 paper charge.
+        let nd_phases: Vec<_> = sync
+            .ledger
+            .phases()
+            .iter()
+            .filter(|p| p.name == "network decomposition (GK18 carving, measured)")
+            .collect();
+        prop_assert_eq!(nd_phases.len(), 1);
+        let nd_phase = nd_phases[0];
+        let schedule = carving_schedule(&graph, 2, &DecompositionConfig::default());
+        prop_assert_eq!(nd_phase.simulated_rounds, schedule.wave_rounds());
+        prop_assert_eq!(
+            nd_phase.simulated_rounds,
+            formulas::measured_netdecomp_rounds(
+                schedule.num_phases as u64,
+                schedule.total_wave_depth()
+            )
+        );
+        prop_assert!(
+            nd_phase.simulated_rounds <= nd_phase.formula_rounds.unwrap(),
+            "netdecomp phase measured {} rounds > Theorem 3.2 charge {:?}",
+            nd_phase.simulated_rounds,
+            nd_phase.formula_rounds
+        );
+        prop_assert_eq!(
+            nd_phase.formula_rounds,
+            Some(formulas::netdecomp_charge_rounds(graph.n(), 2))
+        );
+        prop_assert_eq!(sync.measured_netdecomp_rounds(), nd_phase.simulated_rounds);
+        prop_assert_eq!(oracle.measured_netdecomp_rounds(), 0);
 
         // Engine-measured end to end: every phase of the composed run that
         // spent rounds ran on the engine — the only charged phases left on
